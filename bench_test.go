@@ -1,0 +1,294 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// ablations of the design choices DESIGN.md calls out. Each benchmark
+// runs a reduced-size configuration of the corresponding experiment so a
+// full -bench=. pass stays in the minutes range; cmd/abwsim runs the
+// paper-scale versions. Custom metrics attach the scientifically
+// relevant quantity of each experiment (error, ratio, Mbps) to the
+// benchmark output, so a bench run doubles as a regression record of the
+// reproduced shapes.
+package abw_test
+
+import (
+	"testing"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/exp"
+	"abw/internal/rng"
+	"abw/internal/stats"
+	"abw/internal/tools/delphi"
+	"abw/internal/tools/pathload"
+	"abw/internal/tools/spruce"
+	"abw/internal/tools/toolstest"
+	"abw/internal/unit"
+)
+
+// BenchmarkFigure1 regenerates the sampling-variability CDFs (pitfall 1).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure1(exp.Figure1Config{
+			Trials:    120,
+			TraceSpan: 10 * time.Second,
+			Seed:      uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Spread of the 1ms error distribution: the figure's headline.
+		s := res.Series[0]
+		b.ReportMetric(s.CDF.Quantile(0.95)-s.CDF.Quantile(0.05), "eps-spread-1ms")
+		b.ReportMetric(res.Series[2].CDF.Quantile(0.95)-res.Series[2].CDF.Quantile(0.05), "eps-spread-100ms")
+	}
+}
+
+// BenchmarkFigure2 regenerates the duration-vs-timescale comparison
+// (pitfall 2).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure2(exp.Figure2Config{Streams: 50, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		b.ReportMetric(first.SampleSD/first.PopulationSD, "sd-ratio-25ms")
+		b.ReportMetric(last.SampleSD/last.PopulationSD, "sd-ratio-200ms")
+	}
+}
+
+// BenchmarkTable1 regenerates the cross-packet-size error table
+// (fallacy 4).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table1(exp.Table1Config{
+			CrossSizes: []unit.Bytes{40, 1500},
+			SampleKs:   []int{10, 100},
+			Trials:     10,
+			Seed:       uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e40, _ := res.Cell(40, 10)
+		e1500, _ := res.Cell(1500, 10)
+		b.ReportMetric(e40, "eps-40B-k10")
+		b.ReportMetric(e1500, "eps-1500B-k10")
+	}
+}
+
+// BenchmarkFigure3 regenerates the burstiness response curves
+// (pitfall 6).
+func BenchmarkFigure3(b *testing.B) {
+	rates := []unit.Rate{15 * unit.Mbps, 22.5 * unit.Mbps, 27.5 * unit.Mbps}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure3(exp.Figure3Config{
+			Rates: rates, Streams: 100, StreamLen: 40, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			if s.Model == exp.ModelPareto {
+				r, _ := s.RatioAt(22.5 * unit.Mbps)
+				b.ReportMetric(r, "pareto-ratio-below-A")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the multiple-bottleneck curves
+// (pitfall 7).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure4(exp.Figure4Config{
+			Rates:   []unit.Rate{25 * unit.Mbps},
+			Streams: 80, StreamLen: 40, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			if s.TightLinks == 5 {
+				r, _ := s.RatioAt(25 * unit.Mbps)
+				b.ReportMetric(r, "ratio-at-A-5links")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the OWD-trend-vs-ratio demonstration
+// (fallacy 8).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure5(exp.Figure5Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Above.Trend.PCT, "pct-above")
+		b.ReportMetric(res.Below.Trend.PCT, "pct-below")
+	}
+}
+
+// BenchmarkFigure6 regenerates the variation-range sample path
+// (fallacy 9).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure6(exp.Figure6Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Q95-res.Q05, "range-width-mbps")
+	}
+}
+
+// BenchmarkFigure7 regenerates the TCP-vs-avail-bw curves (pitfall 10).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Figure7(exp.Figure7Config{
+			Windows:  []int{4, 256},
+			Duration: 10 * time.Second,
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			v, _ := s.At(256)
+			switch s.CrossType {
+			case exp.CrossBufferLimited:
+				b.ReportMetric(v, "responsive-wr256-mbps")
+			case exp.CrossParetoUDP:
+				b.ReportMetric(v, "unresponsive-wr256-mbps")
+			}
+		}
+	}
+}
+
+// BenchmarkLatencyAccuracy regenerates the fallacy-3 tradeoff grid.
+func BenchmarkLatencyAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.LatencyAccuracy(exp.LatencyAccuracyConfig{
+			Durations: []time.Duration{10 * time.Millisecond, 200 * time.Millisecond},
+			Counts:    []int{5, 40},
+			Trials:    8,
+			Seed:      uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		short, _ := res.Cell(10*time.Millisecond, 5)
+		long, _ := res.Cell(200*time.Millisecond, 40)
+		b.ReportMetric(short.RMSError, "rms-short-few")
+		b.ReportMetric(long.RMSError, "rms-long-many")
+	}
+}
+
+// BenchmarkNarrowVsTight regenerates the pitfall-5 comparison.
+func BenchmarkNarrowVsTight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.NarrowVsTight(exp.NarrowVsTightConfig{Trains: 10, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WithNarrowCapacity-res.TrueAvailBwMbps, "narrow-bias-mbps")
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationPairsVsTrains contrasts 2-packet and 100-packet
+// direct probing at an equal packet budget: the quantitative content of
+// fallacy 4 at the estimator level.
+func BenchmarkAblationPairsVsTrains(b *testing.B) {
+	run := func(b *testing.B, trainLen, trains int, metric string) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
+			est, err := delphi.New(delphi.Config{
+				Capacity: sc.Capacity, ProbeRate: 40 * unit.Mbps,
+				TrainLen: trainLen, Trains: trains,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := est.Estimate(sc.Transport)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(stats.RelativeError(rep.Point.MbpsOf(), 25), metric)
+		}
+	}
+	b.Run("pairs-2x500", func(b *testing.B) { run(b, 2, 500, "eps") })
+	b.Run("trains-100x10", func(b *testing.B) { run(b, 100, 10, "eps") })
+}
+
+// BenchmarkAblationTrendThresholds contrasts Pathload with default and
+// aggressive PCT/PDT thresholds, exercising the trend-analysis knob.
+func BenchmarkAblationTrendThresholds(b *testing.B) {
+	run := func(b *testing.B, cfg stats.TrendConfig) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
+			est, err := pathload.New(pathload.Config{
+				MinRate: 2 * unit.Mbps, MaxRate: 48 * unit.Mbps,
+				StreamsPerRate: 3, Trend: cfg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := est.Estimate(sc.Transport)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.Point.MbpsOf(), "estimate-mbps")
+		}
+	}
+	b.Run("default", func(b *testing.B) { run(b, stats.TrendConfig{}) })
+	b.Run("aggressive", func(b *testing.B) {
+		run(b, stats.TrendConfig{PCTIncrease: 0.55, PDTIncrease: 0.4, PCTNoIncrease: 0.45, PDTNoIncrease: 0.3})
+	})
+}
+
+// BenchmarkAblationSpruceSpacing contrasts Spruce's Poisson inter-pair
+// spacing with dense back-to-back pairs: sparse sampling trades latency
+// for independence of the samples.
+func BenchmarkAblationSpruceSpacing(b *testing.B) {
+	run := func(b *testing.B, spacing time.Duration) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
+			est, err := spruce.New(spruce.Config{
+				Capacity: sc.Capacity, Pairs: 100,
+				MeanSpacing: spacing, Rand: rng.New(uint64(i + 1)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := est.Estimate(sc.Transport)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(stats.RelativeError(rep.Point.MbpsOf(), 25), "eps")
+		}
+	}
+	b.Run("poisson-20ms", func(b *testing.B) { run(b, 20*time.Millisecond) })
+	b.Run("dense-1ms", func(b *testing.B) { run(b, time.Millisecond) })
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator event throughput:
+// the cost driver behind every experiment above.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := toolstest.New(toolstest.Options{
+			Model:   toolstest.Poisson,
+			Seed:    uint64(i + 1),
+			Horizon: time.Second,
+		})
+		sc.Sim.RunUntil(time.Second)
+		if sc.Recorders[0].Drops() != 0 {
+			b.Fatal("unexpected drops")
+		}
+	}
+}
+
+var _ core.Estimator = (*pathload.Estimator)(nil) // keep imports honest

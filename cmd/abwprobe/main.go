@@ -1,0 +1,134 @@
+// Command abwprobe runs avail-bw estimation over real UDP sockets: a
+// receiver on one end of the path, a sender with a choice of estimation
+// technique on the other.
+//
+// Receiver:
+//
+//	abwprobe -mode recv -listen 0.0.0.0:9876
+//
+// Sender (pathload over the live path):
+//
+//	abwprobe -mode send -to host:9876 -tool pathload -min 1 -max 900
+//
+// Tools: pathload, pathchirp, topp, ptr (no capacity needed);
+// delphi, spruce, igi (require -capacity, the tight-link capacity in
+// Mbps — mind the paper's pitfall about measuring it with capacity
+// tools, which report the narrow link).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/livenet"
+	"abw/internal/rng"
+	"abw/internal/tools/delphi"
+	"abw/internal/tools/igi"
+	"abw/internal/tools/pathchirp"
+	"abw/internal/tools/pathload"
+	"abw/internal/tools/spruce"
+	"abw/internal/tools/topp"
+	"abw/internal/unit"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "", "recv or send")
+		listen  = flag.String("listen", "0.0.0.0:9876", "receiver control address")
+		to      = flag.String("to", "", "receiver address to probe toward")
+		tool    = flag.String("tool", "pathload", "estimation technique")
+		minMbps = flag.Float64("min", 1, "minimum probing rate (Mbps)")
+		maxMbps = flag.Float64("max", 500, "maximum probing rate (Mbps)")
+		capMbps = flag.Float64("capacity", 0, "tight-link capacity (Mbps), for direct-probing tools")
+		seed    = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+	)
+	flag.Parse()
+	switch *mode {
+	case "recv":
+		recv(*listen)
+	case "send":
+		if *to == "" {
+			fatal("send mode needs -to host:port")
+		}
+		send(*to, *tool, *minMbps, *maxMbps, *capMbps, *seed)
+	default:
+		fatal("pick -mode recv or -mode send")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "abwprobe: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func recv(listen string) {
+	r, err := livenet.ListenReceiver(listen)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer r.Close()
+	fmt.Printf("abwprobe: receiving on %s (ctrl+c to stop)\n", r.Addr())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+func send(to, tool string, minMbps, maxMbps, capMbps float64, seed uint64) {
+	tr, err := livenet.Dial(to)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer tr.Close()
+	min := unit.Rate(minMbps * 1e6)
+	max := unit.Rate(maxMbps * 1e6)
+	capacity := unit.Rate(capMbps * 1e6)
+	est, err := buildTool(tool, min, max, capacity, seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("abwprobe: running %s toward %s\n", est.Name(), to)
+	rep, err := est.Estimate(tr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println(rep)
+	fmt.Printf("  overhead: %d probe bytes\n", rep.ProbeBytes)
+	if rep.Low != rep.High {
+		fmt.Println("  note: the range is the avail-bw variation at the probing timescale,")
+		fmt.Println("        NOT a confidence interval for the mean (misconception #9)")
+	}
+}
+
+func buildTool(name string, min, max, capacity unit.Rate, seed uint64) (core.Estimator, error) {
+	switch name {
+	case "pathload":
+		return pathload.New(pathload.Config{MinRate: min, MaxRate: max})
+	case "pathchirp":
+		return pathchirp.New(pathchirp.Config{Lo: min, Hi: max})
+	case "topp":
+		return topp.New(topp.Config{MinRate: min, MaxRate: max})
+	case "ptr":
+		return igi.New(igi.Config{InitRate: max})
+	case "igi":
+		if capacity <= 0 {
+			return nil, fmt.Errorf("igi needs -capacity (direct probing)")
+		}
+		return igi.New(igi.Config{Mode: igi.IGI, Capacity: capacity})
+	case "delphi":
+		if capacity <= 0 {
+			return nil, fmt.Errorf("delphi needs -capacity (direct probing)")
+		}
+		return delphi.New(delphi.Config{Capacity: capacity})
+	case "spruce":
+		if capacity <= 0 {
+			return nil, fmt.Errorf("spruce needs -capacity (direct probing)")
+		}
+		return spruce.New(spruce.Config{Capacity: capacity, Rand: rng.New(seed)})
+	default:
+		return nil, fmt.Errorf("unknown tool %q (try pathload, pathchirp, topp, ptr, igi, delphi, spruce)", name)
+	}
+}

@@ -1,0 +1,196 @@
+// Command abwsim regenerates the paper's tables and figures on the
+// discrete-event simulator.
+//
+// Usage:
+//
+//	abwsim -exp fig1           # one experiment
+//	abwsim -exp all            # every table and figure
+//	abwsim -list               # catalog of experiments and misconceptions
+//	abwsim -exp fig3 -quick    # reduced trial counts for a fast pass
+//	abwsim -exp fig7 -seed 7   # change the random seed
+//
+// Output is a text table per experiment, in the same rows/series the
+// paper reports, with the paper's qualitative claim attached as a note.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/exp"
+	"abw/internal/unit"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "", "experiment: fig1..fig7, table1, latency, narrowtight, all")
+		list  = flag.Bool("list", false, "list experiments and the misconception catalog")
+		quick = flag.Bool("quick", false, "reduced trial counts (~10x faster)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *list {
+		printCatalog()
+		return
+	}
+	if *which == "" {
+		fmt.Fprintln(os.Stderr, "abwsim: pick an experiment with -exp (or -list); see -h")
+		os.Exit(2)
+	}
+	names := []string{*which}
+	if *which == "all" {
+		names = []string{"fig1", "fig2", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "latency", "narrowtight", "vartime", "compare"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		tab, err := run(name, *quick, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abwsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, quick bool, seed uint64) (*exp.Table, error) {
+	switch name {
+	case "fig1":
+		cfg := exp.Figure1Config{Seed: seed}
+		if quick {
+			cfg.Trials = 120
+			cfg.TraceSpan = 10 * time.Second
+		}
+		r, err := exp.Figure1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "fig2":
+		cfg := exp.Figure2Config{Seed: seed}
+		if quick {
+			cfg.Streams = 40
+		}
+		r, err := exp.Figure2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "table1":
+		cfg := exp.Table1Config{Seed: seed}
+		if quick {
+			cfg.Trials = 8
+		}
+		r, err := exp.Table1(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "fig3":
+		cfg := exp.Figure3Config{Seed: seed}
+		if quick {
+			cfg.Streams = 80
+		}
+		r, err := exp.Figure3(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "fig4":
+		cfg := exp.Figure4Config{Seed: seed}
+		if quick {
+			cfg.Streams = 60
+		}
+		r, err := exp.Figure4(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "fig5":
+		r, err := exp.Figure5(exp.Figure5Config{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "fig6":
+		r, err := exp.Figure6(exp.Figure6Config{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "fig7":
+		cfg := exp.Figure7Config{Seed: seed}
+		if quick {
+			cfg.Windows = []int{2, 8, 32, 128, 512}
+			cfg.Duration = 12 * time.Second
+		}
+		r, err := exp.Figure7(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "latency":
+		cfg := exp.LatencyAccuracyConfig{Seed: seed}
+		if quick {
+			cfg.Trials = 8
+		}
+		r, err := exp.LatencyAccuracy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "narrowtight":
+		r, err := exp.NarrowVsTight(exp.NarrowVsTightConfig{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "vartime":
+		cfg := exp.VarTimeConfig{Seed: seed}
+		if quick {
+			cfg.TraceSpan = 15 * time.Second
+		}
+		r, err := exp.VarianceTimescale(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "compare":
+		r, err := exp.CompareTools(exp.CompareConfig{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func printCatalog() {
+	fmt.Println("Experiments (Jain & Dovrolis, IMC 2004):")
+	rows := []struct{ name, what string }{
+		{"fig1", "sampling variability of the avail-bw process (CDF of sample-mean error)"},
+		{"fig2", "probing duration = averaging timescale (population vs sample stddev)"},
+		{"table1", "cross-traffic packet size vs packet-pair error"},
+		{"fig3", "cross-traffic burstiness vs Ro/Ri response"},
+		{"fig4", "multiple tight links vs Ro/Ri response"},
+		{"fig5", "OWD trend analysis vs the Ro/Ri ratio"},
+		{"fig6", "variation range of an avail-bw sample path"},
+		{"fig7", "bulk TCP throughput vs avail-bw under three cross-traffic types"},
+		{"latency", "the latency/accuracy tradeoff behind 'faster is better'"},
+		{"narrowtight", "narrow-link capacity misused as tight-link capacity"},
+		{"vartime", "Eq. (4)/(5): variance decay of A_tau across timescales"},
+		{"compare", "all seven tools on one path with cost columns"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-12s %s\n", r.name, r.what)
+	}
+	fmt.Println("\nThe ten misconceptions:")
+	for _, m := range core.Misconceptions {
+		fmt.Printf("  %2d. [%s] %s (exp: %s)\n", m.ID, m.Kind, m.Title, m.Experiment)
+	}
+	_ = unit.Mbps
+}

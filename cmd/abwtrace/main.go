@@ -1,0 +1,109 @@
+// Command abwtrace synthesizes and analyzes the packet traces standing in
+// for the paper's NLANR/OC-3 trace: it prints avail-bw statistics across
+// timescales, the variance–time relation, and the Hurst estimate.
+//
+// Usage:
+//
+//	abwtrace -gen fgn -span 30s             # fGn-modulated trace (default)
+//	abwtrace -gen onoff -sources 80         # aggregated Pareto ON-OFF
+//	abwtrace -tau 10ms -samplepath          # print the Figure-6 sample path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"abw/internal/rng"
+	"abw/internal/stats"
+	"abw/internal/trace"
+	"abw/internal/unit"
+)
+
+func main() {
+	var (
+		gen        = flag.String("gen", "fgn", "generator: fgn or onoff")
+		span       = flag.Duration("span", 30*time.Second, "trace duration")
+		meanMbps   = flag.Float64("mean", 70, "mean traffic rate (Mbps)")
+		hurst      = flag.Float64("hurst", 0.8, "Hurst parameter (fgn generator)")
+		sources    = flag.Int("sources", 50, "source count (onoff generator)")
+		tau        = flag.Duration("tau", 10*time.Millisecond, "base averaging timescale")
+		samplePath = flag.Bool("samplepath", false, "print the avail-bw sample path values")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	r := rng.New(*seed)
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch *gen {
+	case "fgn":
+		tr, err = trace.SynthesizeFGN(trace.FGNConfig{
+			Span:     *span,
+			MeanRate: unit.Rate(*meanMbps * 1e6),
+			Hurst:    *hurst,
+		}, r)
+	case "onoff":
+		tr, err = trace.SynthesizeOnOff(trace.OnOffConfig{
+			Span:     *span,
+			MeanRate: unit.Rate(*meanMbps * 1e6),
+			Sources:  *sources,
+		}, r)
+	default:
+		err = fmt.Errorf("unknown generator %q", *gen)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abwtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace: %d packets over %v on a %v link\n", tr.Len(), tr.Span, tr.Capacity)
+	fmt.Printf("mean rate %.2f Mbps, utilization %.1f%%, mean avail-bw %.2f Mbps\n",
+		tr.MeanRate().MbpsOf(), 100*tr.Utilization(), (tr.Capacity - tr.MeanRate()).MbpsOf())
+
+	fmt.Println("\navail-bw distribution by timescale:")
+	fmt.Printf("  %-8s %-8s %-8s %-8s %-8s %-8s\n", "tau", "mean", "stddev", "q05", "q95", "min")
+	for _, t := range []time.Duration{*tau, 10 * *tau, 100 * *tau} {
+		if t >= tr.Span {
+			continue
+		}
+		series := tr.AvailBwSeries(0, tr.Span, t)
+		vals := make([]float64, len(series))
+		for i, a := range series {
+			vals[i] = a.MbpsOf()
+		}
+		cdf := stats.NewCDF(vals)
+		min, _ := stats.MinMax(vals)
+		fmt.Printf("  %-8v %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n",
+			t, stats.Mean(vals), stats.StdDev(vals), cdf.Quantile(0.05), cdf.Quantile(0.95), min)
+	}
+
+	if h, err := tr.HurstEstimate(*tau); err == nil {
+		fmt.Printf("\nHurst estimate (variance-time at %v): %.3f\n", *tau, h)
+	}
+
+	rateSeries := tr.RateSeries(*tau)
+	fmt.Println("\nvariance-time relation of the rate series:")
+	for k := 1; k <= len(rateSeries)/8; k *= 4 {
+		fmt.Printf("  k=%-5d Var[X^(k)] = %.4f\n", k, stats.Variance(stats.Aggregate(rateSeries, k)))
+	}
+
+	abwSeries := tr.AvailBwSeries(0, tr.Span, *tau)
+	vals := make([]float64, len(abwSeries))
+	for i, a := range abwSeries {
+		vals[i] = a.MbpsOf()
+	}
+	if hist, err := stats.NewHistogram(0, tr.Capacity.MbpsOf(), 16); err == nil {
+		hist.AddAll(vals)
+		fmt.Printf("\navail-bw distribution at tau=%v (Mbps):\n%s", *tau, hist.Render(48))
+	}
+
+	if *samplePath {
+		fmt.Printf("\navail-bw sample path at tau=%v (Mbps):\n", *tau)
+		for i, v := range vals {
+			fmt.Printf("%.3f %.2f\n", float64(i)*tau.Seconds(), v)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package abw reproduces "Ten Fallacies and Pitfalls on End-to-End
+// Available Bandwidth Estimation" (Jain & Dovrolis, IMC 2004) as a Go
+// library: a discrete-event network simulator, the paper's cross-traffic
+// models and trace substrate, the seven estimation tools it classifies
+// (Delphi, TOPP, Pathload, pathChirp, IGI/PTR, Spruce, BFind), a
+// packet-level TCP Reno, a live UDP probing transport, and one
+// experiment per table and figure in the paper.
+//
+// Entry points:
+//
+//   - cmd/abwsim regenerates every table and figure;
+//   - cmd/abwprobe runs the estimators over real UDP sockets;
+//   - cmd/abwtrace synthesizes and analyzes traces;
+//   - examples/ holds runnable walkthroughs of the public API;
+//   - bench_test.go in this directory carries one benchmark per
+//     table/figure plus ablations of the design choices.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package abw

@@ -1,0 +1,66 @@
+// Burstiness: the same mean avail-bw under three cross-traffic models —
+// watch direct probing underestimate as burstiness grows (the paper's
+// pitfall #6), and the variation range widen.
+//
+//	go run ./examples/burstiness
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/crosstraffic"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/tools/delphi"
+	"abw/internal/unit"
+)
+
+const (
+	capacity  = 50 * unit.Mbps
+	crossRate = 25 * unit.Mbps
+)
+
+func transportFor(model string) *core.SimTransport {
+	s := sim.New()
+	link := s.NewLink("tight", capacity, time.Millisecond)
+	path := sim.MustPath(link)
+	cfg := crosstraffic.Stream{Rate: crossRate}
+	r := rng.New(3)
+	var m crosstraffic.Model
+	switch model {
+	case "CBR":
+		m = crosstraffic.CBR(cfg)
+	case "Poisson":
+		m = crosstraffic.Poisson(cfg, r)
+	case "Pareto ON-OFF":
+		m = crosstraffic.ParetoOnOff(crosstraffic.ParetoOnOffConfig{Stream: cfg, OffCap: 200}, r)
+	}
+	m.Run(s, path.Route(), 0, 5*time.Minute)
+	return core.NewSimTransport(s, path)
+}
+
+func main() {
+	fmt.Println("Delphi (direct probing, 20 trains at 40 Mbps) against three cross-traffic")
+	fmt.Println("models with the SAME mean avail-bw of 25 Mbps:")
+	fmt.Println()
+	fmt.Printf("%-15s %-12s %-20s\n", "cross traffic", "estimate", "sample range (Mbps)")
+	for _, model := range []string{"CBR", "Poisson", "Pareto ON-OFF"} {
+		est, err := delphi.New(delphi.Config{Capacity: capacity, ProbeRate: 40 * unit.Mbps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := est.Estimate(transportFor(model))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %-12.2f [%.1f, %.1f]\n",
+			model, rep.Point.MbpsOf(), rep.Low.MbpsOf(), rep.High.MbpsOf())
+	}
+	fmt.Println()
+	fmt.Println("queues build before 100% utilization, so burstier traffic compresses the")
+	fmt.Println("probe streams earlier — a downward bias no fixed threshold can undo,")
+	fmt.Println("because it depends on the (unknown) burstiness of the path.")
+}

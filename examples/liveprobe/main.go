@@ -1,0 +1,51 @@
+// Liveprobe: run Pathload over real UDP sockets on loopback — the same
+// estimator code that runs on the simulator, now against the kernel's
+// network stack.
+//
+//	go run ./examples/liveprobe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abw/internal/livenet"
+	"abw/internal/tools/pathload"
+	"abw/internal/unit"
+)
+
+func main() {
+	recv, err := livenet.ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recv.Close()
+	fmt.Printf("receiver on %s\n", recv.Addr())
+
+	tr, err := livenet.Dial(recv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Loopback is fast; bracket the search accordingly and keep the
+	// fleet small so the example finishes in seconds.
+	est, err := pathload.New(pathload.Config{
+		MinRate:        50 * unit.Mbps,
+		MaxRate:        4 * unit.Gbps,
+		StreamLen:      50,
+		StreamsPerRate: 2,
+		MaxRounds:      8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := est.Estimate(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	fmt.Println("(loopback avail-bw is bounded by kernel/scheduler overhead rather than a")
+	fmt.Println(" link; expect gigabits per second, with jitter from the Go runtime — see")
+	fmt.Println(" the livenet package docs on pacing)")
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"abw/internal/core"
+)
+
+// Equation (11) in action: how many independent samples does a target
+// accuracy need? At short timescales the avail-bw process is noisy
+// (large σ relative to the mean), and the answer runs into the hundreds
+// — the quantitative core of the paper's first pitfall.
+func ExampleRequiredSamples() {
+	// Long timescale: σ = 10% of the mean, 5% target accuracy.
+	easy, _ := core.RequiredSamples(10, 100, 0.05)
+	// Short timescale: σ equal to the mean, same target.
+	hard, _ := core.RequiredSamples(100, 100, 0.05)
+	fmt.Printf("σ=10%% of mean: %d samples\n", easy)
+	fmt.Printf("σ=100%% of mean: %d samples\n", hard)
+	// Output:
+	// σ=10% of mean: 4 samples
+	// σ=100% of mean: 400 samples
+}
+
+// The misconception catalog is data, so tools can cite the pitfalls
+// they are subject to.
+func ExampleMisconceptions() {
+	m := core.Misconceptions[4] // pitfall 5: narrow vs tight capacity
+	fmt.Printf("#%d [%s] %s\n", m.ID, m.Kind, m.Title)
+	// Output:
+	// #5 [pitfall] Estimating the tight link capacity with end-to-end capacity estimation tools
+}

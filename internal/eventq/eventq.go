@@ -1,0 +1,105 @@
+// Package eventq implements the event queue driving the discrete-event
+// simulator: a binary min-heap of timestamped callbacks with a stable
+// tie-break, so two events scheduled for the same instant always fire in
+// scheduling order. Determinism of the whole simulation rests on this
+// property.
+package eventq
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	At time.Duration // virtual time since simulation epoch
+	Fn func()
+
+	seq   uint64 // insertion order, breaks ties deterministically
+	index int    // heap index, -1 once popped or canceled
+}
+
+// Canceled reports whether the event was removed before firing.
+func (e *Event) Canceled() bool { return e.index == -2 }
+
+// Queue is a min-heap of events ordered by (At, insertion order).
+// The zero value is an empty queue ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Schedule adds fn to run at virtual time at and returns the event handle,
+// which can later be passed to Cancel. Scheduling in the past is allowed
+// (the simulator treats it as "run as soon as possible"); the caller is
+// responsible for monotonic clock discipline.
+func (q *Queue) Schedule(at time.Duration, fn func()) *Event {
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op, so callers can cancel timers
+// unconditionally.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -2
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is
+// empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Peek returns the earliest pending event without removing it, or nil.
+func (q *Queue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

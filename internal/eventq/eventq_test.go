@@ -1,0 +1,181 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestPopOrderByTime(t *testing.T) {
+	var q Queue
+	var got []int
+	times := []time.Duration{30, 10, 20, 50, 40}
+	for i, at := range times {
+		i := i
+		q.Schedule(at, func() { got = append(got, i) })
+	}
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	want := []int{1, 2, 0, 4, 3} // sorted by time 10,20,30,40,50
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStableTieBreak(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.Schedule(42, func() { got = append(got, i) })
+	}
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of insertion order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Schedule(10, func() { fired = true })
+	q.Cancel(e)
+	if !e.Canceled() {
+		t.Error("event not marked canceled")
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue length after cancel = %d, want 0", q.Len())
+	}
+	for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		ev.Fn()
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	var q Queue
+	e := q.Schedule(10, func() {})
+	q.Cancel(e)
+	q.Cancel(e) // must not panic
+	q.Cancel(nil)
+}
+
+func TestCancelMiddleKeepsOrder(t *testing.T) {
+	var q Queue
+	var got []time.Duration
+	var cancel *Event
+	for _, at := range []time.Duration{5, 3, 9, 1, 7} {
+		at := at
+		e := q.Schedule(at, func() { got = append(got, at) })
+		if at == 3 {
+			cancel = e
+		}
+	}
+	q.Cancel(cancel)
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	want := []time.Duration{1, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Error("Peek on empty queue should be nil")
+	}
+	q.Schedule(20, func() {})
+	q.Schedule(10, func() {})
+	if e := q.Peek(); e == nil || e.At != 10 {
+		t.Errorf("Peek = %v, want event at 10", e)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Peek must not remove; len = %d", q.Len())
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil {
+		t.Error("Pop on empty queue should be nil")
+	}
+}
+
+func TestRandomizedOrderingProperty(t *testing.T) {
+	// Under random insertion and occasional cancellation, pops must come
+	// out in nondecreasing time order.
+	rnd := rand.New(rand.NewSource(1))
+	var q Queue
+	var handles []*Event
+	var want []time.Duration
+	for i := 0; i < 5000; i++ {
+		at := time.Duration(rnd.Intn(1000))
+		e := q.Schedule(at, func() {})
+		if rnd.Intn(10) == 0 {
+			handles = append(handles, e)
+		} else {
+			want = append(want, at)
+		}
+	}
+	for _, h := range handles {
+		q.Cancel(h)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []time.Duration
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		got = append(got, e.At)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScheduleDuringDrain(t *testing.T) {
+	// Events scheduled by a firing event must be honored.
+	var q Queue
+	var got []time.Duration
+	q.Schedule(1, func() {
+		got = append(got, 1)
+		q.Schedule(2, func() { got = append(got, 2) })
+	})
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Fn()
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func BenchmarkScheduleAndPop(b *testing.B) {
+	rnd := rand.New(rand.NewSource(7))
+	var q Queue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(time.Duration(rnd.Intn(1<<20)), nil)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/tools/delphi"
+	"abw/internal/tools/igi"
+	"abw/internal/tools/pathchirp"
+	"abw/internal/tools/pathload"
+	"abw/internal/tools/spruce"
+	"abw/internal/tools/topp"
+	"abw/internal/unit"
+)
+
+// CompareConfig parameterizes the cross-tool comparison the paper's
+// summary calls for: "compare and evaluate the existing estimation
+// techniques under reproducible and controllable conditions".
+type CompareConfig struct {
+	Capacity  unit.Rate // default 50 Mbps
+	CrossRate unit.Rate // default 25 Mbps
+	Model     CrossModel
+	Seed      uint64
+}
+
+func (c CompareConfig) withDefaults() CompareConfig {
+	if c.Capacity == 0 {
+		c.Capacity = 50 * unit.Mbps
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = 25 * unit.Mbps
+	}
+	if c.Model == "" {
+		c.Model = ModelPoisson
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// CompareEntry is one tool's outcome on the common scenario.
+type CompareEntry struct {
+	Tool   string
+	Report *core.Report
+	Err    error
+}
+
+// CompareResult is the comparison outcome.
+type CompareResult struct {
+	Config      CompareConfig
+	TrueAvailBw unit.Rate
+	Entries     []CompareEntry
+}
+
+// CompareTools runs every estimator against statistically identical
+// copies of the same path (same seed, fresh simulation per tool so no
+// tool inherits another's queue backlog), recording estimate and
+// probing cost. This is the repository's broadest integration test:
+// seven estimation techniques, the transport, the simulator and three
+// traffic models all exercised through the public API.
+func CompareTools(cfg CompareConfig) (*CompareResult, error) {
+	c := cfg.withDefaults()
+	res := &CompareResult{Config: c, TrueAvailBw: c.Capacity - c.CrossRate}
+
+	scenario := func() *core.SimTransport {
+		s := sim.New()
+		link := s.NewLink("tight", c.Capacity, time.Millisecond)
+		path := sim.MustPath(link)
+		mkModel(c.Model, c.CrossRate, rng.New(c.Seed)).Run(s, path.Route(), 0, 10*time.Minute)
+		return core.NewSimTransport(s, path)
+	}
+
+	builders := []struct {
+		name  string
+		build func() (core.Estimator, error)
+	}{
+		{"pathload", func() (core.Estimator, error) {
+			return pathload.New(pathload.Config{MinRate: c.Capacity / 25, MaxRate: c.Capacity * 49 / 50})
+		}},
+		{"topp", func() (core.Estimator, error) {
+			return topp.New(topp.Config{MinRate: c.Capacity / 10, MaxRate: c.Capacity * 9 / 10})
+		}},
+		{"pathchirp", func() (core.Estimator, error) {
+			return pathchirp.New(pathchirp.Config{Lo: c.Capacity / 10, Hi: c.Capacity * 24 / 25})
+		}},
+		{"ptr", func() (core.Estimator, error) {
+			return igi.New(igi.Config{InitRate: c.Capacity})
+		}},
+		{"igi", func() (core.Estimator, error) {
+			return igi.New(igi.Config{Mode: igi.IGI, Capacity: c.Capacity})
+		}},
+		{"delphi", func() (core.Estimator, error) {
+			return delphi.New(delphi.Config{Capacity: c.Capacity})
+		}},
+		{"spruce", func() (core.Estimator, error) {
+			return spruce.New(spruce.Config{Capacity: c.Capacity, Rand: rng.New(c.Seed + 1)})
+		}},
+	}
+	for _, b := range builders {
+		est, err := b.build()
+		if err != nil {
+			return nil, fmt.Errorf("exp: compare: %s: %w", b.name, err)
+		}
+		rep, err := est.Estimate(scenario())
+		res.Entries = append(res.Entries, CompareEntry{Tool: b.name, Report: rep, Err: err})
+	}
+	return res, nil
+}
+
+// Entry returns the named tool's entry.
+func (r *CompareResult) Entry(tool string) (CompareEntry, bool) {
+	for _, e := range r.Entries {
+		if e.Tool == tool {
+			return e, true
+		}
+	}
+	return CompareEntry{}, false
+}
+
+// Table renders the comparison with the cost columns that make it fair.
+func (r *CompareResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Tool comparison under %s cross traffic (true A = %.1f Mbps)",
+			r.Config.Model, r.TrueAvailBw.MbpsOf()),
+		Header: []string{"tool", "estimate", "low", "high", "streams", "packets", "latency"},
+		Notes: []string{
+			"comparisons are only fair at matched probing budgets and timescales (misconceptions 1-3)",
+		},
+	}
+	for _, e := range r.Entries {
+		if e.Err != nil {
+			t.Rows = append(t.Rows, []string{e.Tool, "error", e.Err.Error(), "", "", "", ""})
+			continue
+		}
+		rep := e.Report
+		t.Rows = append(t.Rows, []string{
+			e.Tool, f2(rep.Point.MbpsOf()), f2(rep.Low.MbpsOf()), f2(rep.High.MbpsOf()),
+			fmt.Sprintf("%d", rep.Streams), fmt.Sprintf("%d", rep.Packets),
+			rep.Elapsed.Round(time.Millisecond).String(),
+		})
+	}
+	return t
+}

@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/crosstraffic"
+	"abw/internal/fluid"
+	"abw/internal/probe"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/stats"
+	"abw/internal/unit"
+)
+
+// LatencyAccuracyConfig parameterizes the "faster estimation is better"
+// fallacy study: a grid over stream count and stream duration, measuring
+// estimation error against total probing time.
+type LatencyAccuracyConfig struct {
+	Capacity  unit.Rate       // default 50 Mbps
+	CrossRate unit.Rate       // default 25 Mbps
+	ProbeRate unit.Rate       // default 40 Mbps
+	Durations []time.Duration // default 10, 50, 200 ms
+	Counts    []int           // streams averaged, default 5, 20, 80
+	Trials    int             // error samples per cell, default 15
+	Seed      uint64
+}
+
+func (c LatencyAccuracyConfig) withDefaults() LatencyAccuracyConfig {
+	if c.Capacity == 0 {
+		c.Capacity = 50 * unit.Mbps
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = 25 * unit.Mbps
+	}
+	if c.ProbeRate == 0 {
+		c.ProbeRate = 40 * unit.Mbps
+	}
+	if len(c.Durations) == 0 {
+		c.Durations = []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond}
+	}
+	if len(c.Counts) == 0 {
+		c.Counts = []int{5, 20, 80}
+	}
+	if c.Trials == 0 {
+		c.Trials = 15
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LatencyAccuracyCell is one (duration, count) grid point.
+type LatencyAccuracyCell struct {
+	Duration time.Duration
+	Streams  int
+	// ProbingTime is the total virtual time spent probing.
+	ProbingTime time.Duration
+	// RMSError is the root-mean-square relative error across trials.
+	RMSError float64
+}
+
+// LatencyAccuracyResult is the study outcome.
+type LatencyAccuracyResult struct {
+	Config LatencyAccuracyConfig
+	Cells  []LatencyAccuracyCell
+}
+
+// LatencyAccuracy quantifies the estimation latency/accuracy tradeoff:
+// fewer or shorter streams finish sooner but err more, because shorter
+// streams mean a smaller averaging timescale (larger population
+// variance) and fewer streams mean fewer samples (Equation 11).
+func LatencyAccuracy(cfg LatencyAccuracyConfig) (*LatencyAccuracyResult, error) {
+	c := cfg.withDefaults()
+	res := &LatencyAccuracyResult{Config: c}
+	trueA := (c.Capacity - c.CrossRate).MbpsOf()
+	for di, d := range c.Durations {
+		for ni, n := range c.Counts {
+			var sqSum float64
+			var probing time.Duration
+			for trial := 0; trial < c.Trials; trial++ {
+				s := sim.New()
+				link := s.NewLink("tight", c.Capacity, time.Millisecond)
+				path := sim.MustPath(link)
+				root := rng.New(c.Seed + uint64(di*1000+ni*100+trial))
+				spec := probe.PeriodicForDuration(c.ProbeRate, 1500, d)
+				horizon := time.Duration(n+2)*(2*spec.Duration()+20*time.Millisecond) + time.Second
+				crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate}, root.Split("cross")).
+					Run(s, path.Route(), 0, horizon)
+				tp := core.NewSimTransport(s, path)
+				tp.Spacing = 10 * time.Millisecond
+				t0 := tp.Now()
+				var samples []float64
+				for i := 0; i < n; i++ {
+					rec, err := tp.Probe(spec)
+					if err != nil {
+						return nil, fmt.Errorf("exp: latency-accuracy: %w", err)
+					}
+					ri, ro := rec.InputRate(), rec.OutputRate()
+					if ri <= 0 || ro <= 0 {
+						continue
+					}
+					a, err := fluid.DirectEstimate(c.Capacity, ri, ro)
+					if err != nil {
+						continue
+					}
+					samples = append(samples, a.MbpsOf())
+				}
+				probing += tp.Now() - t0
+				if len(samples) == 0 {
+					continue
+				}
+				e := (stats.Mean(samples) - trueA) / trueA
+				sqSum += e * e
+			}
+			res.Cells = append(res.Cells, LatencyAccuracyCell{
+				Duration:    d,
+				Streams:     n,
+				ProbingTime: probing / time.Duration(c.Trials),
+				RMSError:    math.Sqrt(sqSum / float64(c.Trials)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the grid point for a duration/count pair.
+func (r *LatencyAccuracyResult) Cell(d time.Duration, n int) (LatencyAccuracyCell, bool) {
+	for _, c := range r.Cells {
+		if c.Duration == d && c.Streams == n {
+			return c, true
+		}
+	}
+	return LatencyAccuracyCell{}, false
+}
+
+// Table renders the tradeoff grid.
+func (r *LatencyAccuracyResult) Table() *Table {
+	t := &Table{
+		Title:  "Fallacy 3: faster estimation is better — latency vs accuracy",
+		Header: []string{"stream duration", "streams", "probing time", "RMS rel. error"},
+		Notes: []string{
+			"the stream duration and count are accuracy knobs, not implementation parameters",
+		},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Duration.String(), fmt.Sprintf("%d", c.Streams), c.ProbingTime.Round(time.Millisecond).String(), pct(c.RMSError),
+		})
+	}
+	return t
+}
+
+// NarrowVsTightConfig parameterizes the capacity-estimation pitfall
+// demonstration: a Fast Ethernet narrow link followed by a loaded OC-3
+// tight link.
+type NarrowVsTightConfig struct {
+	NarrowCapacity unit.Rate // default 100 Mbps (Fast Ethernet)
+	TightCapacity  unit.Rate // default OC-3
+	NarrowCross    unit.Rate // default 10 Mbps → A_narrow = 90
+	TightCross     unit.Rate // default 100 Mbps → A_tight ≈ 55.5
+	ProbeRate      unit.Rate // default 70 Mbps (> A_tight)
+	Trains         int       // default 20
+	TrainLen       int       // default 100
+	Seed           uint64
+}
+
+func (c NarrowVsTightConfig) withDefaults() NarrowVsTightConfig {
+	if c.NarrowCapacity == 0 {
+		c.NarrowCapacity = unit.FastEthernet
+	}
+	if c.TightCapacity == 0 {
+		c.TightCapacity = unit.OC3
+	}
+	if c.NarrowCross == 0 {
+		c.NarrowCross = 10 * unit.Mbps
+	}
+	if c.TightCross == 0 {
+		c.TightCross = 100 * unit.Mbps
+	}
+	if c.ProbeRate == 0 {
+		c.ProbeRate = 70 * unit.Mbps
+	}
+	if c.Trains == 0 {
+		c.Trains = 20
+	}
+	if c.TrainLen == 0 {
+		c.TrainLen = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NarrowVsTightResult is the demonstration outcome.
+type NarrowVsTightResult struct {
+	Config NarrowVsTightConfig
+	// TrueAvailBwMbps is the end-to-end avail-bw (the tight link's).
+	TrueAvailBwMbps float64
+	// WithTightCapacity / WithNarrowCapacity are the direct-probing
+	// estimates using the correct C_t vs the capacity a capacity-
+	// estimation tool would report (C_n).
+	WithTightCapacity, WithNarrowCapacity float64
+}
+
+// NarrowVsTight demonstrates the paper's fifth misconception: feeding
+// the narrow-link capacity (what bprobe-style tools measure) into the
+// direct-probing equation instead of the tight-link capacity biases the
+// estimate.
+func NarrowVsTight(cfg NarrowVsTightConfig) (*NarrowVsTightResult, error) {
+	c := cfg.withDefaults()
+	s := sim.New()
+	narrow := s.NewLink("narrow", c.NarrowCapacity, time.Millisecond)
+	tight := s.NewLink("tight", c.TightCapacity, time.Millisecond)
+	path := sim.MustPath(narrow, tight)
+	root := rng.New(c.Seed)
+	spec := probe.Periodic(c.ProbeRate, 1500, c.TrainLen)
+	horizon := time.Duration(c.Trains+2) * (2*spec.Duration() + 100*time.Millisecond)
+	crosstraffic.Poisson(crosstraffic.Stream{Rate: c.NarrowCross, Flow: 1}, root.Split("narrow")).
+		Run(s, []*sim.Link{narrow}, 0, horizon)
+	crosstraffic.Poisson(crosstraffic.Stream{Rate: c.TightCross, Flow: 2}, root.Split("tight")).
+		Run(s, []*sim.Link{tight}, 0, horizon)
+	tp := core.NewSimTransport(s, path)
+	var withTight, withNarrow []float64
+	for i := 0; i < c.Trains; i++ {
+		rec, err := tp.Probe(spec)
+		if err != nil {
+			return nil, fmt.Errorf("exp: narrow-vs-tight: %w", err)
+		}
+		ri, ro := rec.InputRate(), rec.OutputRate()
+		if ri <= 0 || ro <= 0 {
+			continue
+		}
+		if a, err := fluid.DirectEstimate(c.TightCapacity, ri, ro); err == nil {
+			withTight = append(withTight, a.MbpsOf())
+		}
+		if a, err := fluid.DirectEstimate(c.NarrowCapacity, ri, ro); err == nil {
+			withNarrow = append(withNarrow, a.MbpsOf())
+		}
+	}
+	if len(withTight) == 0 || len(withNarrow) == 0 {
+		return nil, fmt.Errorf("exp: narrow-vs-tight: no measurable trains")
+	}
+	return &NarrowVsTightResult{
+		Config:             c,
+		TrueAvailBwMbps:    (c.TightCapacity - c.TightCross).MbpsOf(),
+		WithTightCapacity:  stats.Mean(withTight),
+		WithNarrowCapacity: stats.Mean(withNarrow),
+	}, nil
+}
+
+// Table renders the comparison.
+func (r *NarrowVsTightResult) Table() *Table {
+	errT := math.Abs(r.WithTightCapacity-r.TrueAvailBwMbps) / r.TrueAvailBwMbps
+	errN := math.Abs(r.WithNarrowCapacity-r.TrueAvailBwMbps) / r.TrueAvailBwMbps
+	return &Table{
+		Title:  "Pitfall 5: narrow-link capacity is not the tight-link capacity",
+		Header: []string{"variant", "estimate (Mbps)", "true A (Mbps)", "rel. error"},
+		Rows: [][]string{
+			{"Eq.(9) with C_t (OC-3)", f2(r.WithTightCapacity), f2(r.TrueAvailBwMbps), pct(errT)},
+			{"Eq.(9) with C_n (FastE)", f2(r.WithNarrowCapacity), f2(r.TrueAvailBwMbps), pct(errN)},
+		},
+		Notes: []string{
+			"capacity tools estimate the narrow link; direct probing needs the tight link",
+		},
+	}
+}

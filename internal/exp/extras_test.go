@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestVarianceTimescaleDecayLaws(t *testing.T) {
+	res, err := VarianceTimescale(VarTimeConfig{TraceSpan: 20 * time.Second, Levels: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	var iid, lrd VarTimeSeries
+	for _, s := range res.Series {
+		if s.Hurst == 0.5 {
+			iid = s
+		} else {
+			lrd = s
+		}
+	}
+	// Eq. (4): IID slope ≈ −1. The fGn envelope at H=0.5 is white, but
+	// the local Poisson arrivals add their own (also IID) noise, so the
+	// combined slope stays near −1.
+	if math.Abs(iid.FittedSlope+1) > 0.25 {
+		t.Errorf("H=0.5 slope = %.3f, Eq.(4) predicts -1", iid.FittedSlope)
+	}
+	// Eq. (5): LRD decays slower; slope clearly above (less negative
+	// than) the IID slope, and the recovered Hurst is > 0.65.
+	if lrd.FittedSlope <= iid.FittedSlope {
+		t.Errorf("LRD slope %.3f should exceed IID slope %.3f", lrd.FittedSlope, iid.FittedSlope)
+	}
+	// The local Poisson arrival noise (slope −1) mixes with the LRD
+	// envelope at fine scales, biasing the recovered Hurst downward;
+	// require it clearly above the IID value rather than at 0.8.
+	if lrd.EstimatedHurst < 0.6 {
+		t.Errorf("recovered Hurst = %.2f, want > 0.6 for H=0.8 traffic", lrd.EstimatedHurst)
+	}
+	// Variance must decrease with timescale in both cases.
+	for _, s := range res.Series {
+		for i := 1; i < len(s.Variances); i++ {
+			if s.Variances[i] >= s.Variances[i-1] {
+				t.Errorf("H=%.1f: variance not decreasing at level %d", s.Hurst, i)
+			}
+		}
+	}
+	if res.Table() == nil {
+		t.Error("nil table")
+	}
+}
+
+func TestCompareToolsIntegration(t *testing.T) {
+	// The repository-wide integration test: every estimator over the
+	// same CBR path must land near the true avail-bw. CBR is the fluid
+	// limit, where every technique's model assumptions hold.
+	res, err := CompareTools(CompareConfig{Model: ModelCBR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 7 {
+		t.Fatalf("entries = %d, want 7", len(res.Entries))
+	}
+	trueA := res.TrueAvailBw.MbpsOf()
+	// Per-tool tolerance bands: pair/chirp-based techniques are coarser
+	// by design (one pair per probed rate).
+	tol := map[string]float64{
+		"pathload": 6, "topp": 8, "pathchirp": 12,
+		"ptr": 8, "igi": 8, "delphi": 3, "spruce": 5,
+	}
+	for _, e := range res.Entries {
+		if e.Err != nil {
+			t.Errorf("%s failed: %v", e.Tool, e.Err)
+			continue
+		}
+		got := e.Report.Point.MbpsOf()
+		if math.Abs(got-trueA) > tol[e.Tool] {
+			t.Errorf("%s estimate = %.2f Mbps, want %.1f ± %.0f", e.Tool, got, trueA, tol[e.Tool])
+		}
+		if e.Report.Streams <= 0 || e.Report.Packets <= 0 {
+			t.Errorf("%s: effort not accounted: %+v", e.Tool, e.Report)
+		}
+	}
+	if res.Table() == nil {
+		t.Error("nil table")
+	}
+}
+
+func TestCompareToolsPoissonAllPlausible(t *testing.T) {
+	res, err := CompareTools(CompareConfig{Model: ModelPoisson, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Entries {
+		if e.Err != nil {
+			t.Errorf("%s failed: %v", e.Tool, e.Err)
+			continue
+		}
+		got := e.Report.Point.MbpsOf()
+		// Under bursty traffic the paper predicts underestimation, so
+		// accept a wide band below truth but cap the overshoot.
+		if got <= 0 || got > 40 {
+			t.Errorf("%s estimate = %.2f Mbps out of plausible (0, 40]", e.Tool, got)
+		}
+	}
+}
+
+func TestCompareEntryLookup(t *testing.T) {
+	res, err := CompareTools(CompareConfig{Model: ModelCBR, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Entry("pathload"); !ok {
+		t.Error("pathload entry missing")
+	}
+	if _, ok := res.Entry("nosuch"); ok {
+		t.Error("phantom entry found")
+	}
+}

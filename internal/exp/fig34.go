@@ -1,0 +1,294 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/crosstraffic"
+	"abw/internal/probe"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/stats"
+	"abw/internal/unit"
+)
+
+// CrossModel names the cross-traffic models of Figure 3.
+type CrossModel string
+
+// Figure 3's three burstiness levels.
+const (
+	ModelCBR     CrossModel = "CBR"
+	ModelPoisson CrossModel = "Poisson"
+	ModelPareto  CrossModel = "Pareto On-Off"
+)
+
+// Figure3Config parameterizes the burstiness experiment. Zero fields
+// take the paper's values: C=50 Mbps, A=25 Mbps, Ri swept 5→30 Mbps,
+// 500 streams per point.
+type Figure3Config struct {
+	Capacity  unit.Rate
+	CrossRate unit.Rate
+	Rates     []unit.Rate
+	Models    []CrossModel
+	Streams   int // per (model, Ri) point, default 500
+	StreamLen int // packets per stream, default 50
+	PktSize   unit.Bytes
+	Seed      uint64
+}
+
+func (c Figure3Config) withDefaults() Figure3Config {
+	if c.Capacity == 0 {
+		c.Capacity = 50 * unit.Mbps
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = 25 * unit.Mbps
+	}
+	if len(c.Rates) == 0 {
+		for ri := 5.0; ri <= 30.0; ri += 2.5 {
+			c.Rates = append(c.Rates, unit.Rate(ri)*unit.Mbps)
+		}
+	}
+	if len(c.Models) == 0 {
+		c.Models = []CrossModel{ModelCBR, ModelPoisson, ModelPareto}
+	}
+	if c.Streams == 0 {
+		c.Streams = 500
+	}
+	if c.StreamLen == 0 {
+		c.StreamLen = 50
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RatioSeries is one model's mean Ro/Ri curve.
+type RatioSeries struct {
+	Model  CrossModel
+	Rates  []unit.Rate
+	Ratios []float64
+}
+
+// RatioAt returns the mean ratio at the given rate.
+func (s *RatioSeries) RatioAt(ri unit.Rate) (float64, bool) {
+	for i, r := range s.Rates {
+		if r == ri {
+			return s.Ratios[i], true
+		}
+	}
+	return 0, false
+}
+
+// Figure3Result is the experiment outcome.
+type Figure3Result struct {
+	Config Figure3Config
+	Series []RatioSeries
+}
+
+// Figure3 regenerates the paper's Figure 3: the mean Ro/Ri response
+// curve under CBR, Poisson and Pareto ON-OFF cross traffic at equal mean
+// avail-bw. The paper's claim: with bursty traffic the ratio dips below
+// 1 well before Ri reaches A, biasing estimators downward.
+func Figure3(cfg Figure3Config) (*Figure3Result, error) {
+	c := cfg.withDefaults()
+	res := &Figure3Result{Config: c}
+	for mi, model := range c.Models {
+		series := RatioSeries{Model: model}
+		for riIdx, ri := range c.Rates {
+			s := sim.New()
+			link := s.NewLink("tight", c.Capacity, time.Millisecond)
+			path := sim.MustPath(link)
+			root := rng.New(c.Seed + uint64(mi)*10000 + uint64(riIdx)*100)
+			spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
+			horizon := time.Duration(c.Streams+4) * (2*spec.Duration() + 100*time.Millisecond)
+			mkModel(model, c.CrossRate, root).Run(s, path.Route(), 0, horizon)
+			tp := core.NewSimTransport(s, path)
+			tp.Spacing = spec.Duration() + 20*time.Millisecond
+			var ratios []float64
+			for i := 0; i < c.Streams; i++ {
+				rec, err := tp.Probe(spec)
+				if err != nil {
+					return nil, fmt.Errorf("exp: figure3: %w", err)
+				}
+				if r := rec.Ratio(); r > 0 {
+					ratios = append(ratios, r)
+				}
+			}
+			series.Rates = append(series.Rates, ri)
+			series.Ratios = append(series.Ratios, stats.Mean(ratios))
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+func mkModel(m CrossModel, rate unit.Rate, root *rng.Rand) crosstraffic.Model {
+	cfg := crosstraffic.Stream{Rate: rate}
+	switch m {
+	case ModelPoisson:
+		return crosstraffic.Poisson(cfg, root.Split("poisson"))
+	case ModelPareto:
+		return crosstraffic.ParetoOnOff(crosstraffic.ParetoOnOffConfig{Stream: cfg, OffCap: 200}, root.Split("pareto"))
+	default:
+		return crosstraffic.CBR(cfg)
+	}
+}
+
+// Table renders the three curves side by side.
+func (r *Figure3Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 3: effect of cross-traffic burstiness on Ro/Ri (A = 25 Mbps)",
+		Header: []string{"Ri (Mbps)"},
+		Notes: []string{
+			"paper: CBR stays ~1.0 until Ri > A; Poisson and Pareto ON-OFF dip below 1 well before",
+		},
+	}
+	for _, s := range r.Series {
+		t.Header = append(t.Header, string(s.Model))
+	}
+	for i, ri := range r.Config.Rates {
+		row := []string{f2(ri.MbpsOf())}
+		for _, s := range r.Series {
+			row = append(row, f3(s.Ratios[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure4Config parameterizes the multiple-bottleneck experiment. Zero
+// fields take the paper's values: 1, 3 and 5 equally tight links with
+// one-hop-persistent Poisson cross traffic.
+type Figure4Config struct {
+	Capacity   unit.Rate
+	CrossRate  unit.Rate
+	Rates      []unit.Rate
+	TightLinks []int
+	Streams    int // per point, default 500
+	StreamLen  int
+	PktSize    unit.Bytes
+	Seed       uint64
+}
+
+func (c Figure4Config) withDefaults() Figure4Config {
+	if c.Capacity == 0 {
+		c.Capacity = 50 * unit.Mbps
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = 25 * unit.Mbps
+	}
+	if len(c.Rates) == 0 {
+		for ri := 5.0; ri <= 30.0; ri += 2.5 {
+			c.Rates = append(c.Rates, unit.Rate(ri)*unit.Mbps)
+		}
+	}
+	if len(c.TightLinks) == 0 {
+		c.TightLinks = []int{1, 3, 5}
+	}
+	if c.Streams == 0 {
+		c.Streams = 500
+	}
+	if c.StreamLen == 0 {
+		c.StreamLen = 50
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Figure4Series is one path length's Ro/Ri curve.
+type Figure4Series struct {
+	TightLinks int
+	Rates      []unit.Rate
+	Ratios     []float64
+}
+
+// Figure4Result is the experiment outcome.
+type Figure4Result struct {
+	Config Figure4Config
+	Series []Figure4Series
+}
+
+// Figure4 regenerates the paper's Figure 4: with multiple equally tight
+// links carrying one-hop-persistent Poisson cross traffic, the Ro/Ri
+// ratio at Ri = A falls as the number of tight links grows — compounding
+// underestimation.
+func Figure4(cfg Figure4Config) (*Figure4Result, error) {
+	c := cfg.withDefaults()
+	res := &Figure4Result{Config: c}
+	for hi, hops := range c.TightLinks {
+		series := Figure4Series{TightLinks: hops}
+		for riIdx, ri := range c.Rates {
+			s := sim.New()
+			links := make([]*sim.Link, hops)
+			for i := range links {
+				links[i] = s.NewLink(fmt.Sprintf("hop%d", i), c.Capacity, time.Millisecond)
+			}
+			path := sim.MustPath(links...)
+			root := rng.New(c.Seed + uint64(hi)*100000 + uint64(riIdx)*100)
+			spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
+			horizon := time.Duration(c.Streams+4) * (2*spec.Duration() + 100*time.Millisecond)
+			crosstraffic.OnePersistentPerHop(s, path, 0, horizon, func(hop int) crosstraffic.Model {
+				return crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate, Flow: hop},
+					root.Split(fmt.Sprintf("hop%d", hop)))
+			})
+			tp := core.NewSimTransport(s, path)
+			tp.Spacing = spec.Duration() + 20*time.Millisecond
+			var ratios []float64
+			for i := 0; i < c.Streams; i++ {
+				rec, err := tp.Probe(spec)
+				if err != nil {
+					return nil, fmt.Errorf("exp: figure4: %w", err)
+				}
+				if r := rec.Ratio(); r > 0 {
+					ratios = append(ratios, r)
+				}
+			}
+			series.Rates = append(series.Rates, ri)
+			series.Ratios = append(series.Ratios, stats.Mean(ratios))
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// RatioAt returns the series ratio at a given rate.
+func (s *Figure4Series) RatioAt(ri unit.Rate) (float64, bool) {
+	for i, r := range s.Rates {
+		if r == ri {
+			return s.Ratios[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the per-path-length curves.
+func (r *Figure4Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 4: effect of multiple tight links on Ro/Ri (A = 25 Mbps per link)",
+		Header: []string{"Ri (Mbps)"},
+		Notes: []string{
+			"paper: at Ri = A the ratio falls as tight links are added",
+		},
+	}
+	for _, s := range r.Series {
+		t.Header = append(t.Header, fmt.Sprintf("%d tight", s.TightLinks))
+	}
+	for i, ri := range r.Config.Rates {
+		row := []string{f2(ri.MbpsOf())}
+		for _, s := range r.Series {
+			row = append(row, f3(s.Ratios[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

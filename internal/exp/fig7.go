@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/crosstraffic"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/tcp"
+	"abw/internal/unit"
+)
+
+// Figure7CrossType names the three cross-traffic flavors of Figure 7,
+// using the paper's legend.
+type Figure7CrossType string
+
+// Figure 7's cross-traffic types.
+const (
+	// CrossParetoUDP: unresponsive UDP with Pareto interarrivals.
+	CrossParetoUDP Figure7CrossType = "Pareto interarrivals"
+	// CrossSizeLimited: an aggregate of many short ("size limited") TCP
+	// transfers.
+	CrossSizeLimited Figure7CrossType = "Size limited TCP"
+	// CrossBufferLimited: a few persistent TCP transfers capped by
+	// their advertised windows (socket "buffer limited").
+	CrossBufferLimited Figure7CrossType = "Buffer limited TCP"
+)
+
+// Figure7Config parameterizes the TCP-vs-avail-bw experiment. Zero
+// fields take values matching the paper's setting (avail-bw 15 Mbps).
+type Figure7Config struct {
+	Capacity  unit.Rate // default 50 Mbps
+	CrossRate unit.Rate // default 35 Mbps → A = 15 Mbps
+	// Windows is the Wr sweep in segments (default 2,4,...,512).
+	Windows []int
+	// CrossTypes selects the curves (default all three).
+	CrossTypes []Figure7CrossType
+	// Duration is virtual time per point (default 20 s; throughput is
+	// measured after a 5 s warmup).
+	Duration time.Duration
+	// BufferPkts is the bottleneck buffer (default 100 packets).
+	BufferPkts int
+	// RTTProp is the two-way propagation delay (default 40 ms).
+	RTTProp time.Duration
+	// CrossConns is the number of persistent window-limited cross TCPs
+	// (default 5).
+	CrossConns int
+	Seed       uint64
+}
+
+func (c Figure7Config) withDefaults() Figure7Config {
+	if c.Capacity == 0 {
+		c.Capacity = 50 * unit.Mbps
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = 35 * unit.Mbps
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
+	}
+	if len(c.CrossTypes) == 0 {
+		c.CrossTypes = []Figure7CrossType{CrossParetoUDP, CrossSizeLimited, CrossBufferLimited}
+	}
+	if c.Duration == 0 {
+		c.Duration = 20 * time.Second
+	}
+	if c.BufferPkts == 0 {
+		c.BufferPkts = 100
+	}
+	if c.RTTProp == 0 {
+		c.RTTProp = 40 * time.Millisecond
+	}
+	if c.CrossConns == 0 {
+		c.CrossConns = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Figure7Series is one cross-traffic type's throughput curve.
+type Figure7Series struct {
+	CrossType Figure7CrossType
+	Windows   []int
+	// ThroughputMbps[i] is the bulk transfer's goodput at Windows[i].
+	ThroughputMbps []float64
+}
+
+// At returns the throughput at a given window.
+func (s *Figure7Series) At(wr int) (float64, bool) {
+	for i, w := range s.Windows {
+		if w == wr {
+			return s.ThroughputMbps[i], true
+		}
+	}
+	return 0, false
+}
+
+// Figure7Result is the experiment outcome.
+type Figure7Result struct {
+	Config Figure7Config
+	// AvailBwMbps is the nominal avail-bw the paper draws as the
+	// horizontal line.
+	AvailBwMbps float64
+	Series      []Figure7Series
+}
+
+// Figure7 regenerates the paper's Figure 7: bulk TCP throughput as a
+// function of the receiver advertised window Wr under three cross
+// traffic types. The paper's claim — the evidence behind its tenth
+// pitfall — is that the TCP-throughput-vs-avail-bw difference can be
+// positive or negative, depending on Wr and on how congestion-responsive
+// the cross traffic is, so TCP throughput is not a validation target for
+// avail-bw estimators.
+func Figure7(cfg Figure7Config) (*Figure7Result, error) {
+	c := cfg.withDefaults()
+	res := &Figure7Result{
+		Config:      c,
+		AvailBwMbps: (c.Capacity - c.CrossRate).MbpsOf(),
+	}
+	for ci, ct := range c.CrossTypes {
+		series := Figure7Series{CrossType: ct}
+		for wi, wr := range c.Windows {
+			s := sim.New()
+			fwd := s.NewLink("bottleneck", c.Capacity, c.RTTProp/2)
+			fwd.BufferBytes = unit.Bytes(c.BufferPkts) * 1500
+			rev := s.NewLink("reverse", unit.Gbps, c.RTTProp/2)
+			root := rng.New(c.Seed + uint64(ci)*100000 + uint64(wi)*100)
+			fwdRoute := []*sim.Link{fwd}
+			revRoute := []*sim.Link{rev}
+			if err := startFig7Cross(s, ct, c, fwdRoute, revRoute, root); err != nil {
+				return nil, fmt.Errorf("exp: figure7: %w", err)
+			}
+			bulk, err := tcp.New(s, fwdRoute, revRoute, 1, tcp.Config{RcvWnd: wr})
+			if err != nil {
+				return nil, fmt.Errorf("exp: figure7: %w", err)
+			}
+			bulk.Start(time.Second)
+			s.RunUntil(c.Duration)
+			warmup := c.Duration / 4
+			series.Windows = append(series.Windows, wr)
+			series.ThroughputMbps = append(series.ThroughputMbps,
+				bulk.Throughput(warmup, c.Duration).MbpsOf())
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// startFig7Cross installs the chosen cross traffic on the bottleneck.
+func startFig7Cross(s *sim.Sim, ct Figure7CrossType, c Figure7Config, fwd, rev []*sim.Link, root *rng.Rand) error {
+	horizon := c.Duration + time.Second
+	switch ct {
+	case CrossParetoUDP:
+		crosstraffic.ParetoArrivals(crosstraffic.Stream{Rate: c.CrossRate, Flow: 500}, 1.9, root.Split("udp")).
+			Run(s, fwd, 0, horizon)
+		return nil
+	case CrossSizeLimited:
+		mice, err := tcp.NewMice(tcp.MiceConfig{OfferedLoad: c.CrossRate})
+		if err != nil {
+			return err
+		}
+		return mice.Run(s, fwd, rev, 0, horizon, 1000, root.Split("mice"))
+	case CrossBufferLimited:
+		// Windows sized so the aggregate uses ~CrossRate when alone:
+		// per-conn rate = Wr·MSS·8/RTT.
+		perConn := float64(c.CrossRate) / float64(c.CrossConns)
+		wr := int(perConn * c.RTTProp.Seconds() / (1460 * 8))
+		if wr < 2 {
+			wr = 2
+		}
+		for i := 0; i < c.CrossConns; i++ {
+			conn, err := tcp.New(s, fwd, rev, 100+i, tcp.Config{RcvWnd: wr})
+			if err != nil {
+				return err
+			}
+			conn.Start(time.Duration(i) * 50 * time.Millisecond)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown cross type %q", ct)
+	}
+}
+
+// Table renders the throughput curves against the avail-bw line.
+func (r *Figure7Result) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 7: bulk TCP throughput vs receiver window (avail-bw = %.0f Mbps)", r.AvailBwMbps),
+		Header: []string{"Wr (pkts)"},
+		Notes: []string{
+			"paper: the difference between TCP throughput and avail-bw can be positive or negative,",
+			"depending on Wr and on the congestion responsiveness of the cross traffic",
+		},
+	}
+	for _, s := range r.Series {
+		t.Header = append(t.Header, string(s.CrossType))
+	}
+	for i, wr := range r.Config.Windows {
+		row := []string{fmt.Sprintf("%d", wr)}
+		for _, s := range r.Series {
+			row = append(row, f2(s.ThroughputMbps[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/crosstraffic"
+	"abw/internal/fluid"
+	"abw/internal/probe"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/unit"
+)
+
+// Table1Config parameterizes the packet-pair vs packet-train experiment.
+// Zero fields take the paper's values.
+type Table1Config struct {
+	Capacity   unit.Rate    // default 50 Mbps
+	CrossRate  unit.Rate    // default 25 Mbps
+	ProbeRate  unit.Rate    // default 40 Mbps
+	ProbeSize  unit.Bytes   // default 1500 B (the paper's L)
+	CrossSizes []unit.Bytes // default 40, 512, 1500 B (the paper's Lc)
+	SampleKs   []int        // default 10, 20, 50, 100
+	Trials     int          // sample means per (Lc, k) cell, default 25
+	Seed       uint64
+}
+
+func (c Table1Config) withDefaults() Table1Config {
+	if c.Capacity == 0 {
+		c.Capacity = 50 * unit.Mbps
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = 25 * unit.Mbps
+	}
+	if c.ProbeRate == 0 {
+		c.ProbeRate = 40 * unit.Mbps
+	}
+	if c.ProbeSize == 0 {
+		c.ProbeSize = 1500
+	}
+	if len(c.CrossSizes) == 0 {
+		c.CrossSizes = []unit.Bytes{40, 512, 1500}
+	}
+	if len(c.SampleKs) == 0 {
+		c.SampleKs = []int{10, 20, 50, 100}
+	}
+	if c.Trials == 0 {
+		c.Trials = 25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Table1Cell is the mean absolute relative error for one (Lc, k) pair.
+type Table1Cell struct {
+	CrossSize unit.Bytes
+	K         int
+	AbsError  float64
+}
+
+// Table1Result is the experiment outcome.
+type Table1Result struct {
+	Config Table1Config
+	Cells  []Table1Cell
+}
+
+// Cell returns the error for a given cross size and sample count.
+func (r *Table1Result) Cell(lc unit.Bytes, k int) (float64, bool) {
+	for _, c := range r.Cells {
+		if c.CrossSize == lc && c.K == k {
+			return c.AbsError, true
+		}
+	}
+	return 0, false
+}
+
+// Table1 regenerates the paper's Table 1: the effect of the cross
+// traffic packet size Lc on packet-pair estimation error. At equal mean
+// rate, fewer/larger cross packets quantize the per-pair samples more
+// coarsely, so the k-pair sample mean is noisier. The paper reports 0%
+// error at Lc=40 B and up to 40% at Lc=1500 B with k=10.
+func Table1(cfg Table1Config) (*Table1Result, error) {
+	c := cfg.withDefaults()
+	res := &Table1Result{Config: c}
+	trueA := (c.Capacity - c.CrossRate).MbpsOf()
+	maxK := 0
+	for _, k := range c.SampleKs {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for li, lc := range c.CrossSizes {
+		// One long-lived scenario per cross size: all trials sample it.
+		s := sim.New()
+		link := s.NewLink("tight", c.Capacity, time.Millisecond)
+		path := sim.MustPath(link)
+		root := rng.New(c.Seed + uint64(li)*1000)
+		// Pairs are spaced 5 ms apart; a trial of maxK pairs spans
+		// maxK*5ms.
+		horizon := time.Duration(c.Trials+2) * time.Duration(maxK+5) * 5 * time.Millisecond * 2
+		crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate, Sizes: rng.FixedSize(int(lc))}, root.Split("cross")).
+			Run(s, path.Route(), 0, horizon)
+		tp := core.NewSimTransport(s, path)
+		tp.Spacing = 5 * time.Millisecond
+		// Collect Trials × maxK pair samples, then form sample means for
+		// each k from disjoint consecutive blocks.
+		errSums := make(map[int]float64)
+		errCounts := make(map[int]int)
+		for trial := 0; trial < c.Trials; trial++ {
+			samples := make([]float64, 0, maxK)
+			for len(samples) < maxK {
+				rec, err := tp.Probe(probe.Pair(c.ProbeRate, c.ProbeSize))
+				if err != nil {
+					return nil, fmt.Errorf("exp: table1: %w", err)
+				}
+				ri, ro := rec.PairInputRate(0), rec.PairOutputRate(0)
+				if ri <= 0 || ro <= 0 {
+					continue
+				}
+				a, err := fluid.DirectEstimate(c.Capacity, ri, ro)
+				if err != nil {
+					continue
+				}
+				v := a.MbpsOf()
+				if v < 0 {
+					v = 0
+				}
+				if v > c.Capacity.MbpsOf() {
+					v = c.Capacity.MbpsOf()
+				}
+				samples = append(samples, v)
+			}
+			for _, k := range c.SampleKs {
+				var mean float64
+				for _, v := range samples[:k] {
+					mean += v
+				}
+				mean /= float64(k)
+				errSums[k] += math.Abs(mean-trueA) / trueA
+				errCounts[k]++
+			}
+		}
+		for _, k := range c.SampleKs {
+			res.Cells = append(res.Cells, Table1Cell{
+				CrossSize: lc,
+				K:         k,
+				AbsError:  errSums[k] / float64(errCounts[k]),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result in the paper's Table 1 layout.
+func (r *Table1Result) Table() *Table {
+	t := &Table{
+		Title:  "Table 1: effect of cross-traffic packet size Lc on packet-pair error",
+		Header: []string{"Lc"},
+		Notes: []string{
+			"paper: Lc=40B -> ~0 for all k; Lc=512B -> 31/8/5/2.5%; Lc=1500B -> 40/20/8/2%",
+		},
+	}
+	for _, k := range r.Config.SampleKs {
+		t.Header = append(t.Header, fmt.Sprintf("k=%d", k))
+	}
+	for _, lc := range r.Config.CrossSizes {
+		row := []string{fmt.Sprintf("%dB", lc)}
+		for _, k := range r.Config.SampleKs {
+			if e, ok := r.Cell(lc, k); ok {
+				row = append(row, pct(e))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

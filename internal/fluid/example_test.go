@@ -1,0 +1,48 @@
+package fluid_test
+
+import (
+	"fmt"
+
+	"abw/internal/fluid"
+	"abw/internal/unit"
+)
+
+// The paper's canonical single-hop numbers: a 50 Mbps tight link with
+// 25 Mbps fluid cross traffic, probed at 40 Mbps.
+func Example() {
+	link, err := fluid.NewLink(50*unit.Mbps, 25*unit.Mbps)
+	if err != nil {
+		panic(err)
+	}
+	ri := 40 * unit.Mbps
+	ro := link.OutputRate(ri) // Eq. (8)
+	a, err := fluid.DirectEstimate(link.Capacity, ri, ro)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("avail-bw %.0f Mbps, Ro %.2f Mbps, Eq.(9) recovers %.0f Mbps\n",
+		link.AvailBw().MbpsOf(), ro.MbpsOf(), a.MbpsOf())
+	fmt.Printf("overloaded per Eq.(10): %v\n", fluid.ExceedsAvailBw(ri, ro))
+	// Output:
+	// avail-bw 25 Mbps, Ro 30.77 Mbps, Eq.(9) recovers 25 Mbps
+	// overloaded per Eq.(10): true
+}
+
+// Multiple equally tight links compress a probing stream more than one —
+// the fluid skeleton of the paper's Figure 4.
+func ExamplePath_OutputRate() {
+	one, _ := fluid.NewPath(fluid.Link{Capacity: 50 * unit.Mbps, Cross: 25 * unit.Mbps})
+	five, _ := fluid.NewPath(
+		fluid.Link{Capacity: 50 * unit.Mbps, Cross: 25 * unit.Mbps},
+		fluid.Link{Capacity: 50 * unit.Mbps, Cross: 25 * unit.Mbps},
+		fluid.Link{Capacity: 50 * unit.Mbps, Cross: 25 * unit.Mbps},
+		fluid.Link{Capacity: 50 * unit.Mbps, Cross: 25 * unit.Mbps},
+		fluid.Link{Capacity: 50 * unit.Mbps, Cross: 25 * unit.Mbps},
+	)
+	ri := 30 * unit.Mbps
+	fmt.Printf("Ro/Ri over 1 tight link: %.3f\n", float64(one.OutputRate(ri))/float64(ri))
+	fmt.Printf("Ro/Ri over 5 tight links: %.3f\n", float64(five.OutputRate(ri))/float64(ri))
+	// Output:
+	// Ro/Ri over 1 tight link: 0.909
+	// Ro/Ri over 5 tight links: 0.838
+}

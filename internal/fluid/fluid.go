@@ -1,0 +1,188 @@
+// Package fluid implements the single-link fluid cross-traffic model of
+// the paper's Section 1 — the idealized setting every estimation
+// technique is derived from — plus the multi-hop piecewise-linear
+// rate-response curve used by TOPP-style analysis.
+//
+// In the fluid model a link of capacity Ct carries constant-rate cross
+// traffic Rc, so the avail-bw is A = Ct − Rc exactly. Probing at rate
+// Ri > A overloads the link deterministically, producing the queue
+// growth (Eq. 6), one-way-delay slope (Eq. 7) and output-rate compression
+// (Eq. 8) that direct probing inverts (Eq. 9) and iterative probing
+// thresholds (Eq. 10).
+package fluid
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/unit"
+)
+
+// Link is a single fluid link.
+type Link struct {
+	// Capacity is the tight-link capacity Ct.
+	Capacity unit.Rate
+	// Cross is the constant fluid cross-traffic rate Rc < Capacity.
+	Cross unit.Rate
+}
+
+// NewLink validates and returns a fluid link.
+func NewLink(capacity, cross unit.Rate) (Link, error) {
+	if capacity <= 0 {
+		return Link{}, fmt.Errorf("fluid: capacity %v must be positive", capacity)
+	}
+	if cross < 0 || cross >= capacity {
+		return Link{}, fmt.Errorf("fluid: cross rate %v must be in [0, capacity)", cross)
+	}
+	return Link{Capacity: capacity, Cross: cross}, nil
+}
+
+// AvailBw returns A = Ct − Rc (Equations 2–3 in the fluid setting).
+func (l Link) AvailBw() unit.Rate { return l.Capacity - l.Cross }
+
+// QueueGrowthPerPacket returns Δq, the queue-size increase per probing
+// packet of size size sent at rate ri (Equation 6):
+//
+//	Δq = L·(Ri − A)/Ri   for Ri > A, else 0.
+func (l Link) QueueGrowthPerPacket(size unit.Bytes, ri unit.Rate) unit.Bytes {
+	a := l.AvailBw()
+	if ri <= a {
+		return 0
+	}
+	return unit.Bytes(float64(size) * float64(ri-a) / float64(ri))
+}
+
+// OWDIncreasePerPacket returns Δd, the one-way-delay increase between
+// consecutive probing packets (Equation 7):
+//
+//	Δd = Δq/Ct = (L/Ct)·(Ri − A)/Ri   for Ri > A, else 0.
+func (l Link) OWDIncreasePerPacket(size unit.Bytes, ri unit.Rate) time.Duration {
+	dq := l.QueueGrowthPerPacket(size, ri)
+	if dq == 0 {
+		return 0
+	}
+	return unit.TxTime(dq, l.Capacity)
+}
+
+// OutputRate returns Ro for a probing stream at input rate ri
+// (Equation 8):
+//
+//	Ro = Ri·Ct / (Ct + Ri − A)   for Ri > A, else Ri.
+func (l Link) OutputRate(ri unit.Rate) unit.Rate {
+	a := l.AvailBw()
+	if ri <= a {
+		return ri
+	}
+	return ri * l.Capacity / (l.Capacity + ri - a)
+}
+
+// DirectEstimate inverts Equation (8) into Equation (9): given the known
+// tight-link capacity and the measured input and output rates, return the
+// avail-bw sample
+//
+//	A = Ct − Ri·(Ct/Ro − 1).
+//
+// It is only meaningful when Ri > A (the stream must overload the link);
+// callers enforce that by probing at a sufficiently high rate.
+func DirectEstimate(capacity, ri, ro unit.Rate) (unit.Rate, error) {
+	if capacity <= 0 {
+		return 0, fmt.Errorf("fluid: capacity %v must be positive", capacity)
+	}
+	if ri <= 0 || ro <= 0 {
+		return 0, fmt.Errorf("fluid: rates must be positive (ri=%v ro=%v)", ri, ro)
+	}
+	if ro > ri {
+		// Measurement noise can produce Ro slightly above Ri; clamp to
+		// the no-compression case, which yields A >= Ri.
+		ro = ri
+	}
+	return capacity - ri*(capacity/ro-1), nil
+}
+
+// ExceedsAvailBw is Equation (10), the iterative-probing predicate: the
+// stream's rate exceeded the avail-bw iff the output rate was compressed.
+func ExceedsAvailBw(ri, ro unit.Rate) bool { return ro < ri }
+
+// Path is a sequence of fluid links traversed in order. Cross traffic is
+// one-hop persistent: each hop's fluid rate interacts with the probing
+// stream independently, which matches the paper's Figure 4 setup.
+type Path struct {
+	Links []Link
+}
+
+// NewPath validates the hops.
+func NewPath(links ...Link) (*Path, error) {
+	if len(links) == 0 {
+		return nil, fmt.Errorf("fluid: a path needs at least one link")
+	}
+	for i, l := range links {
+		if _, err := NewLink(l.Capacity, l.Cross); err != nil {
+			return nil, fmt.Errorf("fluid: hop %d: %w", i, err)
+		}
+	}
+	return &Path{Links: links}, nil
+}
+
+// AvailBw returns the end-to-end avail-bw: the minimum over hops
+// (Equation 3).
+func (p *Path) AvailBw() unit.Rate {
+	a := p.Links[0].AvailBw()
+	for _, l := range p.Links[1:] {
+		if la := l.AvailBw(); la < a {
+			a = la
+		}
+	}
+	return a
+}
+
+// TightLink returns the index of the link with minimum avail-bw.
+func (p *Path) TightLink() int {
+	idx := 0
+	for i, l := range p.Links {
+		if l.AvailBw() < p.Links[idx].AvailBw() {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// NarrowLink returns the index of the link with minimum capacity.
+func (p *Path) NarrowLink() int {
+	idx := 0
+	for i, l := range p.Links {
+		if l.Capacity < p.Links[idx].Capacity {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// OutputRate propagates a probing stream through all hops: the output
+// rate of hop i is the input rate of hop i+1. In the fluid model this is
+// exact, and it already exhibits the key multi-bottleneck effect of
+// Figure 4: with several equally tight links the compression accumulates
+// hop by hop.
+func (p *Path) OutputRate(ri unit.Rate) unit.Rate {
+	r := ri
+	for _, l := range p.Links {
+		r = l.OutputRate(r)
+	}
+	return r
+}
+
+// ResponseCurve samples Ro/Ri over a range of input rates, giving the
+// piecewise-linear rate response TOPP regresses on. The returned slices
+// are the input rates and the corresponding ratios.
+func (p *Path) ResponseCurve(from, to unit.Rate, steps int) (ri []unit.Rate, ratio []float64) {
+	if steps < 2 || to <= from {
+		return nil, nil
+	}
+	ri = make([]unit.Rate, steps)
+	ratio = make([]float64, steps)
+	for i := 0; i < steps; i++ {
+		r := from + (to-from)*unit.Rate(i)/unit.Rate(steps-1)
+		ri[i] = r
+		ratio[i] = float64(p.OutputRate(r)) / float64(r)
+	}
+	return ri, ratio
+}

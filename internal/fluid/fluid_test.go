@@ -1,0 +1,287 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"abw/internal/unit"
+)
+
+func link(t *testing.T, c, x unit.Rate) Link {
+	t.Helper()
+	l, err := NewLink(c, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	if _, err := NewLink(0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewLink(10*unit.Mbps, 10*unit.Mbps); err == nil {
+		t.Error("cross == capacity accepted")
+	}
+	if _, err := NewLink(10*unit.Mbps, -unit.Mbps); err == nil {
+		t.Error("negative cross accepted")
+	}
+}
+
+func TestAvailBw(t *testing.T) {
+	l := link(t, 50*unit.Mbps, 25*unit.Mbps)
+	if a := l.AvailBw(); a != 25*unit.Mbps {
+		t.Errorf("AvailBw = %v, want 25Mbps", a)
+	}
+}
+
+func TestEquation6QueueGrowth(t *testing.T) {
+	// Paper's canonical numbers: Ct=50, A=25, Ri=40 Mbps, L=1500B.
+	// Δq = L(Ri−A)/Ri = 1500·15/40 = 562.5 → 562 bytes (truncated).
+	l := link(t, 50*unit.Mbps, 25*unit.Mbps)
+	got := l.QueueGrowthPerPacket(1500, 40*unit.Mbps)
+	if got != 562 {
+		t.Errorf("Δq = %d, want 562", got)
+	}
+	// At or below A: no growth.
+	if l.QueueGrowthPerPacket(1500, 25*unit.Mbps) != 0 {
+		t.Error("Δq at Ri=A should be 0")
+	}
+	if l.QueueGrowthPerPacket(1500, 10*unit.Mbps) != 0 {
+		t.Error("Δq below A should be 0")
+	}
+}
+
+func TestEquation7OWDIncrease(t *testing.T) {
+	// Δd = Δq/Ct: 562B at 50Mbps ≈ 89.9µs.
+	l := link(t, 50*unit.Mbps, 25*unit.Mbps)
+	got := l.OWDIncreasePerPacket(1500, 40*unit.Mbps)
+	want := unit.TxTime(562, 50*unit.Mbps)
+	if got != want {
+		t.Errorf("Δd = %v, want %v", got, want)
+	}
+	if l.OWDIncreasePerPacket(1500, 20*unit.Mbps) != 0 {
+		t.Error("Δd below A should be 0")
+	}
+}
+
+func TestEquation8OutputRate(t *testing.T) {
+	l := link(t, 50*unit.Mbps, 25*unit.Mbps)
+	// Ri = 40 > A: Ro = 40·50/(50+40−25) = 2000/65 ≈ 30.77.
+	got := l.OutputRate(40 * unit.Mbps)
+	want := 40.0 * 50 / 65
+	if math.Abs(got.MbpsOf()-want) > 1e-9 {
+		t.Errorf("Ro = %v, want %.4f Mbps", got, want)
+	}
+	// Ri <= A: Ro = Ri.
+	if got := l.OutputRate(25 * unit.Mbps); got != 25*unit.Mbps {
+		t.Errorf("Ro at Ri=A = %v, want Ri", got)
+	}
+}
+
+func TestEquation9InvertsEquation8(t *testing.T) {
+	// DirectEstimate must recover A exactly from fluid Ro whenever
+	// Ri > A — the core soundness property of direct probing.
+	f := func(cRaw, aRaw, riRaw uint16) bool {
+		c := unit.Rate(float64(cRaw%900)+100) * unit.Mbps
+		a := unit.Rate(float64(aRaw%90)+5) * unit.Mbps / 100 * c / unit.Rate(1) // fraction of c
+		a = c * unit.Rate(float64(aRaw%90+5)/100)
+		ri := a + unit.Rate(float64(riRaw%50)+1)*unit.Mbps
+		if ri <= a || a >= c {
+			return true // skip degenerate draws
+		}
+		l := Link{Capacity: c, Cross: c - a}
+		ro := l.OutputRate(ri)
+		got, err := DirectEstimate(c, ri, ro)
+		if err != nil {
+			return false
+		}
+		return math.Abs(float64(got-a))/float64(a) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectEstimateClampsNoise(t *testing.T) {
+	// Ro marginally above Ri (timing noise) must not yield nonsense:
+	// clamping to Ro=Ri makes Eq. (9) collapse to A = Ri, i.e. "the
+	// avail-bw is at least the probing rate".
+	got, err := DirectEstimate(50*unit.Mbps, 20*unit.Mbps, 21*unit.Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20*unit.Mbps {
+		t.Errorf("clamped estimate = %v, want Ri (A >= Ri signal)", got)
+	}
+}
+
+func TestDirectEstimateErrors(t *testing.T) {
+	if _, err := DirectEstimate(0, unit.Mbps, unit.Mbps); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := DirectEstimate(unit.Mbps, 0, unit.Mbps); err == nil {
+		t.Error("zero ri accepted")
+	}
+	if _, err := DirectEstimate(unit.Mbps, unit.Mbps, 0); err == nil {
+		t.Error("zero ro accepted")
+	}
+}
+
+func TestEquation10Predicate(t *testing.T) {
+	if !ExceedsAvailBw(40*unit.Mbps, 30*unit.Mbps) {
+		t.Error("Ro < Ri must imply Ri > A")
+	}
+	if ExceedsAvailBw(20*unit.Mbps, 20*unit.Mbps) {
+		t.Error("Ro == Ri must imply Ri <= A")
+	}
+}
+
+func TestPathAvailBwIsMin(t *testing.T) {
+	p, err := NewPath(
+		Link{Capacity: 100 * unit.Mbps, Cross: 20 * unit.Mbps}, // A=80
+		Link{Capacity: 50 * unit.Mbps, Cross: 30 * unit.Mbps},  // A=20 (tight)
+		Link{Capacity: 155 * unit.Mbps, Cross: 55 * unit.Mbps}, // A=100
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := p.AvailBw(); a != 20*unit.Mbps {
+		t.Errorf("path avail-bw = %v, want 20Mbps", a)
+	}
+	if i := p.TightLink(); i != 1 {
+		t.Errorf("tight link = %d, want 1", i)
+	}
+}
+
+func TestNarrowVsTightDistinct(t *testing.T) {
+	// The paper's capacity-estimation pitfall: narrow (min capacity) and
+	// tight (min avail-bw) can be different links. Fast Ethernet narrow
+	// link with little cross traffic vs an OC-3 with heavy load.
+	p, err := NewPath(
+		Link{Capacity: unit.FastEthernet, Cross: 10 * unit.Mbps}, // A=90, narrow
+		Link{Capacity: unit.OC3, Cross: 100 * unit.Mbps},         // A≈55.5, tight
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NarrowLink() != 0 {
+		t.Errorf("narrow link = %d, want 0", p.NarrowLink())
+	}
+	if p.TightLink() != 1 {
+		t.Errorf("tight link = %d, want 1", p.TightLink())
+	}
+	// Using the narrow-link capacity in Eq. (9) instead of the tight
+	// link's biases the estimate — quantify that it does.
+	ri := 70 * unit.Mbps
+	ro := p.OutputRate(ri)
+	withTight, err := DirectEstimate(unit.OC3, ri, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNarrow, err := DirectEstimate(unit.FastEthernet, ri, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueA := p.AvailBw()
+	errTight := math.Abs(float64(withTight-trueA)) / float64(trueA)
+	errNarrow := math.Abs(float64(withNarrow-trueA)) / float64(trueA)
+	if errNarrow <= errTight {
+		t.Errorf("narrow-capacity estimate should be worse: tight err=%.3f narrow err=%.3f", errTight, errNarrow)
+	}
+}
+
+func TestMultipleTightLinksCompressMore(t *testing.T) {
+	// Figure 4's fluid skeleton: at the same Ri > A, more equally tight
+	// hops compress the stream more.
+	mk := func(n int) *Path {
+		links := make([]Link, n)
+		for i := range links {
+			links[i] = Link{Capacity: 50 * unit.Mbps, Cross: 25 * unit.Mbps}
+		}
+		p, err := NewPath(links...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ri := 30 * unit.Mbps
+	r1 := float64(mk(1).OutputRate(ri)) / float64(ri)
+	r3 := float64(mk(3).OutputRate(ri)) / float64(ri)
+	r5 := float64(mk(5).OutputRate(ri)) / float64(ri)
+	if !(r1 > r3 && r3 > r5) {
+		t.Errorf("Ro/Ri should fall with tight links: 1→%.4f 3→%.4f 5→%.4f", r1, r3, r5)
+	}
+	if r1 >= 1 {
+		t.Errorf("single tight link at Ri>A must compress: %.4f", r1)
+	}
+}
+
+func TestResponseCurveKneeAtAvailBw(t *testing.T) {
+	// The fluid response curve is flat at 1.0 until Ri = A, then falls —
+	// the knee TOPP locates.
+	p, err := NewPath(Link{Capacity: 50 * unit.Mbps, Cross: 25 * unit.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ris, ratios := p.ResponseCurve(5*unit.Mbps, 45*unit.Mbps, 41)
+	for i, ri := range ris {
+		if ri <= 25*unit.Mbps {
+			if math.Abs(ratios[i]-1) > 1e-12 {
+				t.Errorf("Ri=%v: ratio %g, want 1 (below A)", ri, ratios[i])
+			}
+		} else if ratios[i] >= 1 {
+			t.Errorf("Ri=%v: ratio %g, want < 1 (above A)", ri, ratios[i])
+		}
+	}
+	// And the ratio must be strictly decreasing beyond the knee.
+	prev := 1.0
+	for i, ri := range ris {
+		if ri > 25*unit.Mbps {
+			if ratios[i] >= prev {
+				t.Errorf("response curve not decreasing at %v", ri)
+			}
+			prev = ratios[i]
+		}
+	}
+}
+
+func TestResponseCurveDegenerateInput(t *testing.T) {
+	p, _ := NewPath(Link{Capacity: 50 * unit.Mbps, Cross: 0})
+	if ris, _ := p.ResponseCurve(10*unit.Mbps, 5*unit.Mbps, 10); ris != nil {
+		t.Error("inverted range should return nil")
+	}
+	if ris, _ := p.ResponseCurve(5*unit.Mbps, 10*unit.Mbps, 1); ris != nil {
+		t.Error("single step should return nil")
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	if _, err := NewPath(); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := NewPath(Link{Capacity: 0}); err == nil {
+		t.Error("invalid hop accepted")
+	}
+}
+
+func TestOWDSlopeMatchesRateCompression(t *testing.T) {
+	// Consistency of Eq. (7) and Eq. (8): o = i + Δd implies
+	// Ro = L/(L/Ri + Δd). Verify the two formulations agree.
+	l := link(t, 50*unit.Mbps, 25*unit.Mbps)
+	const L = 1500
+	for _, ri := range []unit.Rate{26 * unit.Mbps, 30 * unit.Mbps, 40 * unit.Mbps, 49 * unit.Mbps} {
+		gapIn := unit.GapFor(L, ri)
+		// Use the exact (float) Δd rather than the truncated byte count.
+		a := l.AvailBw()
+		ddSec := float64(L) * 8 / float64(l.Capacity) * float64(ri-a) / float64(ri)
+		gapOut := gapIn + time.Duration(ddSec*1e9)
+		roFromOWD := unit.RateOf(L, gapOut)
+		roFromEq8 := l.OutputRate(ri)
+		if math.Abs(float64(roFromOWD-roFromEq8))/float64(roFromEq8) > 1e-3 {
+			t.Errorf("Ri=%v: Ro via OWD %v != Ro via Eq8 %v", ri, roFromOWD, roFromEq8)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package livenet implements core.Transport over real sockets: probing
+// streams are UDP packets paced by a hybrid sleep/busy-wait loop, and a
+// TCP control channel coordinates stream setup and result collection.
+// It turns the estimation tools in internal/tools into usable network
+// programs — the paper's closing call is to integrate avail-bw
+// estimation with real applications — while the simulator transport
+// remains the substrate for controlled experiments.
+//
+// Clock model: send timestamps are on the sender's monotonic clock and
+// receive timestamps on the receiver's. The unknown offset is constant
+// over a stream, so one-way-delay *trends*, input/output *rates*, and
+// pair *gaps* — everything the estimators consume — are unaffected.
+//
+// Timing quality: Go's garbage collector and scheduler can perturb
+// microsecond-scale pacing (the repro calibration notes this). The
+// sender therefore locks its OS thread, preallocates every buffer, and
+// spins for the final stretch before each departure; residual jitter on
+// loopback is typically a few microseconds.
+package livenet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/probe"
+)
+
+const packetHeader = 16 // magic(4) streamID(4) seq(4) pad(4)
+
+const magic = 0xab11e57a
+
+// control messages exchanged over the TCP channel, line-delimited JSON.
+type ctrlMsg struct {
+	Type       string  `json:"type"` // "stream", "ready", "done", "result"
+	ID         uint32  `json:"id"`
+	Count      int     `json:"count,omitempty"`
+	Size       int     `json:"size,omitempty"`
+	DeadlineMs int     `json:"deadline_ms,omitempty"`
+	RecvNs     []int64 `json:"recv_ns,omitempty"` // -1 = lost
+}
+
+// Receiver is the probing sink: a UDP socket recording per-packet
+// arrival timestamps and a TCP control listener reporting them back.
+type Receiver struct {
+	tcp   net.Listener
+	udp   *net.UDPConn
+	epoch time.Time
+
+	mu      sync.Mutex
+	streams map[uint32]*rxStream
+
+	closed chan struct{}
+}
+
+type rxStream struct {
+	recvNs []int64
+	got    int
+}
+
+// ListenReceiver starts a receiver on the given TCP address (e.g.
+// "127.0.0.1:0"); the UDP probe socket binds the same address as the
+// chosen TCP port.
+func ListenReceiver(addr string) (*Receiver, error) {
+	tl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: control listen: %w", err)
+	}
+	uaddr := tl.Addr().(*net.TCPAddr)
+	uc, err := net.ListenUDP("udp", &net.UDPAddr{IP: uaddr.IP, Port: uaddr.Port})
+	if err != nil {
+		tl.Close()
+		return nil, fmt.Errorf("livenet: probe listen: %w", err)
+	}
+	r := &Receiver{
+		tcp:     tl,
+		udp:     uc,
+		epoch:   time.Now(),
+		streams: make(map[uint32]*rxStream),
+		closed:  make(chan struct{}),
+	}
+	go r.udpLoop()
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the receiver's control address for Dial.
+func (r *Receiver) Addr() string { return r.tcp.Addr().String() }
+
+// Close shuts the receiver down.
+func (r *Receiver) Close() {
+	select {
+	case <-r.closed:
+		return
+	default:
+	}
+	close(r.closed)
+	r.tcp.Close()
+	r.udp.Close()
+}
+
+func (r *Receiver) udpLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := r.udp.ReadFromUDP(buf)
+		at := time.Since(r.epoch).Nanoseconds()
+		if err != nil {
+			select {
+			case <-r.closed:
+				return
+			default:
+				continue
+			}
+		}
+		if n < packetHeader || binary.BigEndian.Uint32(buf[0:4]) != magic {
+			continue
+		}
+		id := binary.BigEndian.Uint32(buf[4:8])
+		seq := int(binary.BigEndian.Uint32(buf[8:12]))
+		r.mu.Lock()
+		st := r.streams[id]
+		if st != nil && seq >= 0 && seq < len(st.recvNs) && st.recvNs[seq] == -1 {
+			st.recvNs[seq] = at
+			st.got++
+		}
+		r.mu.Unlock()
+	}
+}
+
+func (r *Receiver) acceptLoop() {
+	for {
+		conn, err := r.tcp.Accept()
+		if err != nil {
+			select {
+			case <-r.closed:
+				return
+			default:
+				continue
+			}
+		}
+		go r.serve(conn)
+	}
+}
+
+func (r *Receiver) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var m ctrlMsg
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		switch m.Type {
+		case "stream":
+			if m.Count < 1 || m.Count > 1<<20 {
+				return
+			}
+			st := &rxStream{recvNs: make([]int64, m.Count)}
+			for i := range st.recvNs {
+				st.recvNs[i] = -1
+			}
+			r.mu.Lock()
+			r.streams[m.ID] = st
+			r.mu.Unlock()
+			if err := enc.Encode(ctrlMsg{Type: "ready", ID: m.ID}); err != nil {
+				return
+			}
+		case "done":
+			deadline := time.Now().Add(time.Duration(m.DeadlineMs) * time.Millisecond)
+			for {
+				r.mu.Lock()
+				st := r.streams[m.ID]
+				complete := st != nil && st.got == len(st.recvNs)
+				r.mu.Unlock()
+				if complete || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			r.mu.Lock()
+			st := r.streams[m.ID]
+			delete(r.streams, m.ID)
+			r.mu.Unlock()
+			if st == nil {
+				return
+			}
+			if err := enc.Encode(ctrlMsg{Type: "result", ID: m.ID, RecvNs: st.recvNs}); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Transport is the sending side, implementing core.Transport over UDP.
+type Transport struct {
+	ctrl  net.Conn
+	dec   *json.Decoder
+	enc   *json.Encoder
+	udp   *net.UDPConn
+	epoch time.Time
+	// DrainWait is how long the receiver may wait for stragglers after
+	// the last packet is sent (default 500 ms).
+	DrainWait time.Duration
+
+	nextID uint32
+	buf    []byte
+}
+
+// Dial connects to a receiver's control address.
+func Dial(addr string) (*Transport, error) {
+	ctrl, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: control dial: %w", err)
+	}
+	raddr := ctrl.RemoteAddr().(*net.TCPAddr)
+	udp, err := net.DialUDP("udp", nil, &net.UDPAddr{IP: raddr.IP, Port: raddr.Port})
+	if err != nil {
+		ctrl.Close()
+		return nil, fmt.Errorf("livenet: probe dial: %w", err)
+	}
+	return &Transport{
+		ctrl:  ctrl,
+		dec:   json.NewDecoder(bufio.NewReader(ctrl)),
+		enc:   json.NewEncoder(ctrl),
+		udp:   udp,
+		epoch: time.Now(),
+		buf:   make([]byte, 65536),
+	}, nil
+}
+
+// Close releases the sockets.
+func (t *Transport) Close() {
+	t.ctrl.Close()
+	t.udp.Close()
+}
+
+// Now implements core.Transport on the sender's monotonic clock.
+func (t *Transport) Now() time.Duration { return time.Since(t.epoch) }
+
+func (t *Transport) drainWait() time.Duration {
+	if t.DrainWait > 0 {
+		return t.DrainWait
+	}
+	return 500 * time.Millisecond
+}
+
+// Probe implements core.Transport: send one stream, collect the
+// receiver's timestamps.
+func (t *Transport) Probe(spec probe.StreamSpec) (*probe.Record, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if int(spec.PktSize) < packetHeader {
+		return nil, fmt.Errorf("livenet: packet size %d below header size %d", spec.PktSize, packetHeader)
+	}
+	deps, err := spec.Departures()
+	if err != nil {
+		return nil, err
+	}
+	t.nextID++
+	id := t.nextID
+	if err := t.enc.Encode(ctrlMsg{Type: "stream", ID: id, Count: spec.Count, Size: int(spec.PktSize)}); err != nil {
+		return nil, fmt.Errorf("livenet: stream setup: %w", err)
+	}
+	var ready ctrlMsg
+	if err := t.dec.Decode(&ready); err != nil || ready.Type != "ready" || ready.ID != id {
+		return nil, fmt.Errorf("livenet: bad ready response (%v)", err)
+	}
+	rec := probe.NewRecord(spec)
+	pkt := t.buf[:spec.PktSize]
+	for i := range pkt {
+		pkt[i] = 0
+	}
+	binary.BigEndian.PutUint32(pkt[0:4], magic)
+	binary.BigEndian.PutUint32(pkt[4:8], id)
+
+	// The paced send loop: lock the OS thread and spin for the last
+	// stretch before each departure to defeat sleep quantization.
+	runtime.LockOSThread()
+	start := time.Now().Add(2 * time.Millisecond)
+	for i := 0; i < spec.Count; i++ {
+		target := start.Add(deps[i])
+		pace(target)
+		binary.BigEndian.PutUint32(pkt[8:12], uint32(i))
+		rec.Sent[i] = time.Since(t.epoch)
+		if _, err := t.udp.Write(pkt); err != nil {
+			runtime.UnlockOSThread()
+			return nil, fmt.Errorf("livenet: send %d: %w", i, err)
+		}
+	}
+	runtime.UnlockOSThread()
+
+	if err := t.enc.Encode(ctrlMsg{Type: "done", ID: id, DeadlineMs: int(t.drainWait().Milliseconds())}); err != nil {
+		return nil, fmt.Errorf("livenet: done: %w", err)
+	}
+	var res ctrlMsg
+	if err := t.dec.Decode(&res); err != nil || res.Type != "result" || res.ID != id {
+		return nil, fmt.Errorf("livenet: bad result response (%v)", err)
+	}
+	if len(res.RecvNs) != spec.Count {
+		return nil, fmt.Errorf("livenet: result has %d entries, want %d", len(res.RecvNs), spec.Count)
+	}
+	for i, ns := range res.RecvNs {
+		if ns < 0 {
+			rec.Recv[i] = probe.Lost
+		} else {
+			rec.Recv[i] = time.Duration(ns)
+		}
+		rec.MarkResolved()
+	}
+	return rec, nil
+}
+
+// pace blocks until the target instant: sleep while far, spin when near.
+func pace(target time.Time) {
+	for {
+		d := time.Until(target)
+		if d <= 0 {
+			return
+		}
+		if d > 200*time.Microsecond {
+			time.Sleep(d - 100*time.Microsecond)
+			continue
+		}
+		// Busy-wait the final stretch.
+		for time.Now().Before(target) {
+		}
+		return
+	}
+}
+
+var _ core.Transport = (*Transport)(nil)

@@ -1,0 +1,137 @@
+package livenet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// newPair spins up a loopback receiver/transport pair.
+func newPair(t *testing.T) (*Receiver, *Transport) {
+	t.Helper()
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	tr, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	return r, tr
+}
+
+func TestProbeLoopbackComplete(t *testing.T) {
+	_, tr := newPair(t)
+	spec := probe.Periodic(20*unit.Mbps, 500, 50)
+	rec, err := tr.Probe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Done() {
+		t.Error("record not resolved")
+	}
+	if rec.LossCount() > 2 {
+		t.Errorf("lost %d/50 packets on loopback", rec.LossCount())
+	}
+	if got := rec.InputRate().MbpsOf(); math.Abs(got-20)/20 > 0.2 {
+		t.Errorf("paced input rate = %.2f Mbps, want 20±20%%", got)
+	}
+}
+
+func TestProbeSequentialStreams(t *testing.T) {
+	_, tr := newPair(t)
+	for i := 0; i < 3; i++ {
+		rec, err := tr.Probe(probe.Periodic(50*unit.Mbps, 300, 20))
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if rec.LossCount() > 2 {
+			t.Errorf("stream %d: lost %d/20", i, rec.LossCount())
+		}
+	}
+}
+
+func TestProbeChirpOverLoopback(t *testing.T) {
+	_, tr := newPair(t)
+	spec, err := probe.Chirp(5*unit.Mbps, 100*unit.Mbps, 400, 12, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tr.Probe(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LossCount() > 2 {
+		t.Errorf("chirp lost %d/12 packets", rec.LossCount())
+	}
+}
+
+func TestOutputRateMeasurable(t *testing.T) {
+	_, tr := newPair(t)
+	rec, err := tr.Probe(probe.Periodic(10*unit.Mbps, 500, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := rec.OutputRate().MbpsOf()
+	// Loopback is far faster than the probing rate: Ro ≈ Ri.
+	if ro < 5 || ro > 40 {
+		t.Errorf("loopback output rate = %.2f Mbps, want near 10", ro)
+	}
+}
+
+func TestRelativeOWDsFinite(t *testing.T) {
+	_, tr := newPair(t)
+	rec, err := tr.Probe(probe.Periodic(20*unit.Mbps, 500, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := rec.RelativeOWDsMs()
+	if len(rel) == 0 {
+		t.Fatal("no OWDs")
+	}
+	for _, v := range rel {
+		if math.IsNaN(v) || v < 0 || v > 1000 {
+			t.Fatalf("implausible relative OWD %v ms", v)
+		}
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	_, tr := newPair(t)
+	if _, err := tr.Probe(probe.StreamSpec{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := tr.Probe(probe.Periodic(unit.Mbps, 8, 5)); err == nil {
+		t.Error("packet smaller than header accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestReceiverCloseIdempotent(t *testing.T) {
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // must not panic
+}
+
+func TestTransportNowMonotone(t *testing.T) {
+	_, tr := newPair(t)
+	a := tr.Now()
+	time.Sleep(time.Millisecond)
+	b := tr.Now()
+	if b <= a {
+		t.Error("Now not monotone")
+	}
+}

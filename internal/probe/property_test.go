@@ -1,0 +1,118 @@
+package probe
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"abw/internal/rng"
+	"abw/internal/unit"
+)
+
+func TestDeparturesStrictlyIncreasingProperty(t *testing.T) {
+	// For any valid periodic spec, departures are strictly increasing
+	// and the gap equals L/Ri everywhere.
+	f := func(rateRaw uint16, sizeRaw uint16, countRaw uint8) bool {
+		rate := unit.Rate(float64(rateRaw%900)+1) * unit.Mbps
+		size := unit.Bytes(sizeRaw%1460 + 40)
+		count := int(countRaw%200) + 2
+		sp := Periodic(rate, size, count)
+		deps, err := sp.Departures()
+		if err != nil {
+			return false
+		}
+		gap := unit.GapFor(size, rate)
+		for i := 1; i < len(deps); i++ {
+			if deps[i] <= deps[i-1] || deps[i]-deps[i-1] != gap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChirpRatesSpanBoundsProperty(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		lo := unit.Rate(r.Uniform(1, 100)) * unit.Mbps
+		hi := lo * unit.Rate(r.Uniform(1.5, 20))
+		count := 3 + r.Intn(40)
+		sp, err := Chirp(lo, hi, 1000, count, 1.2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for k := 0; k+1 < sp.Count; k++ {
+			rate := sp.RateAtPair(k)
+			if rate < lo*99/100 || rate > hi*101/100 {
+				t.Fatalf("trial %d: pair %d rate %v outside [%v, %v]", trial, k, rate, lo, hi)
+			}
+		}
+	}
+}
+
+func TestRecordRatioWithMonotoneWaitsProperty(t *testing.T) {
+	// When per-packet waiting times are non-decreasing (a growing queue,
+	// the overload scenario of Eq. 6-8), the output span can only be
+	// stretched, so Ro <= Ri. Note this is deliberately NOT claimed for
+	// arbitrary FIFO waits: a draining queue delays early packets more
+	// than late ones and can yield Ro > Ri on a single stream — one
+	// reason single streams are noisy avail-bw samples.
+	r := rng.New(2)
+	for trial := 0; trial < 100; trial++ {
+		sp := Periodic(unit.Rate(r.Uniform(5, 45))*unit.Mbps, 1500, 10+r.Intn(80))
+		rec := NewRecord(sp)
+		deps, err := sp.Departures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(rec.Sent, deps)
+		base := 2 * time.Millisecond
+		wait := time.Duration(0)
+		for i := range rec.Recv {
+			wait += time.Duration(r.Uniform(0, 2e5)) // non-negative increments
+			rec.Recv[i] = rec.Sent[i] + base + wait
+		}
+		if ratio := rec.Ratio(); ratio > 1.0001 {
+			t.Fatalf("trial %d: Ro/Ri = %g > 1 with monotone waits", trial, ratio)
+		}
+	}
+}
+
+func TestRecordRatioEqualWaitsIsUnity(t *testing.T) {
+	// Equal per-packet delay (an uncongested path) leaves the stream
+	// untouched: Ro == Ri exactly.
+	sp := Periodic(20*unit.Mbps, 1500, 50)
+	rec := NewRecord(sp)
+	deps, err := sp.Departures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(rec.Sent, deps)
+	for i := range rec.Recv {
+		rec.Recv[i] = rec.Sent[i] + 3*time.Millisecond
+	}
+	if ratio := rec.Ratio(); ratio != 1 {
+		t.Fatalf("Ro/Ri = %g, want exactly 1", ratio)
+	}
+}
+
+func TestPoissonPairsSpacingNonOverlappingProperty(t *testing.T) {
+	r := rng.New(3)
+	sp, err := PoissonPairs(100*unit.Mbps, 1500, 200, 2*time.Millisecond, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps, err := sp.Departures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := unit.GapFor(1500, 100*unit.Mbps)
+	for i := 1; i < len(deps); i++ {
+		if deps[i]-deps[i-1] < intra {
+			t.Fatalf("gap %d (%v) below the intra-pair minimum %v", i, deps[i]-deps[i-1], intra)
+		}
+	}
+}

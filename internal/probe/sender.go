@@ -1,0 +1,41 @@
+package probe
+
+import (
+	"time"
+
+	"abw/internal/sim"
+)
+
+// SendOverSim schedules the probing stream on the simulator starting at
+// the given virtual time and returns the record, which fills in as the
+// simulation executes. The caller is responsible for running the
+// simulation far enough for all packets to arrive (or be dropped).
+//
+// flow labels the probe packets so multiple concurrent streams can share
+// a path without confusing the receiver.
+func SendOverSim(s *sim.Sim, route []*sim.Link, spec StreamSpec, at time.Duration, flow int) (*Record, error) {
+	deps, err := spec.Departures()
+	if err != nil {
+		return nil, err
+	}
+	rec := NewRecord(spec)
+	for i, d := range deps {
+		i := i
+		rec.Sent[i] = at + d
+		s.Inject(&sim.Packet{
+			Size:  spec.PktSize,
+			Kind:  sim.KindProbe,
+			Flow:  flow,
+			Seq:   i,
+			Route: route,
+			OnArrive: func(p *sim.Packet, t time.Duration) {
+				rec.Recv[p.Seq] = t
+				rec.MarkResolved()
+			},
+			OnDrop: func(*sim.Packet, *sim.Link, time.Duration) {
+				rec.MarkResolved()
+			},
+		}, at+d)
+	}
+	return rec, nil
+}

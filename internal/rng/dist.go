@@ -1,0 +1,103 @@
+package rng
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SizeDist is a distribution over packet sizes in bytes. The paper's
+// "packet pairs vs packet trains" fallacy hinges on cross traffic having
+// a strongly modal size distribution, so sizes get a first-class type.
+type SizeDist interface {
+	// Sample draws one packet size in bytes.
+	Sample(r *Rand) int
+	// Mean returns the expected packet size in bytes.
+	Mean() float64
+}
+
+// FixedSize is a degenerate distribution: every packet has the same size.
+type FixedSize int
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(*Rand) int { return int(f) }
+
+// Mean implements SizeDist.
+func (f FixedSize) Mean() float64 { return float64(f) }
+
+// ModalSizes is a discrete mixture of packet sizes, e.g. the classic
+// Internet mix of 40/576/1500-byte packets.
+type ModalSizes struct {
+	sizes []int
+	cum   []float64 // cumulative probabilities, last element == 1
+	mean  float64
+}
+
+// Mode is one component of a modal packet-size mixture.
+type Mode struct {
+	Size int     // bytes
+	Prob float64 // probability mass
+}
+
+// NewModalSizes builds a modal size distribution. Probabilities must be
+// positive and are normalized to sum to one.
+func NewModalSizes(modes ...Mode) (*ModalSizes, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("rng: modal size distribution needs at least one mode")
+	}
+	var total float64
+	for _, m := range modes {
+		if m.Size <= 0 {
+			return nil, fmt.Errorf("rng: modal size %d must be positive", m.Size)
+		}
+		if m.Prob <= 0 {
+			return nil, fmt.Errorf("rng: modal probability %g must be positive", m.Prob)
+		}
+		total += m.Prob
+	}
+	d := &ModalSizes{
+		sizes: make([]int, len(modes)),
+		cum:   make([]float64, len(modes)),
+	}
+	acc := 0.0
+	for i, m := range modes {
+		p := m.Prob / total
+		acc += p
+		d.sizes[i] = m.Size
+		d.cum[i] = acc
+		d.mean += p * float64(m.Size)
+	}
+	d.cum[len(d.cum)-1] = 1 // kill rounding residue
+	return d, nil
+}
+
+// MustModalSizes is NewModalSizes that panics on error, for package-level
+// variables describing well-known mixes.
+func MustModalSizes(modes ...Mode) *ModalSizes {
+	d, err := NewModalSizes(modes...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// InternetMix is the canonical trimodal Internet packet-size mixture the
+// measurement literature reports: ~50% minimum-size, ~25% 576-byte
+// (pre-1500 path-MTU default), ~25% full-size packets.
+var InternetMix = MustModalSizes(
+	Mode{Size: 40, Prob: 0.5},
+	Mode{Size: 576, Prob: 0.25},
+	Mode{Size: 1500, Prob: 0.25},
+)
+
+// Sample implements SizeDist.
+func (d *ModalSizes) Sample(r *Rand) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.sizes) {
+		i = len(d.sizes) - 1
+	}
+	return d.sizes[i]
+}
+
+// Mean implements SizeDist.
+func (d *ModalSizes) Mean() float64 { return d.mean }

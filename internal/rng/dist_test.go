@@ -1,0 +1,81 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFixedSize(t *testing.T) {
+	d := FixedSize(1500)
+	if d.Sample(New(1)) != 1500 {
+		t.Error("FixedSize sample != 1500")
+	}
+	if d.Mean() != 1500 {
+		t.Error("FixedSize mean != 1500")
+	}
+}
+
+func TestModalSizesMean(t *testing.T) {
+	d := MustModalSizes(Mode{Size: 40, Prob: 0.5}, Mode{Size: 1500, Prob: 0.5})
+	if got, want := d.Mean(), 770.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+}
+
+func TestModalSizesEmpiricalFrequencies(t *testing.T) {
+	d := MustModalSizes(
+		Mode{Size: 40, Prob: 0.5},
+		Mode{Size: 576, Prob: 0.25},
+		Mode{Size: 1500, Prob: 0.25},
+	)
+	r := New(101)
+	counts := map[int]int{}
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r)]++
+	}
+	checks := []struct {
+		size int
+		want float64
+	}{{40, 0.5}, {576, 0.25}, {1500, 0.25}}
+	for _, c := range checks {
+		got := float64(counts[c.size]) / float64(n)
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("P(size=%d) = %g, want ~%g", c.size, got, c.want)
+		}
+	}
+}
+
+func TestModalSizesNormalization(t *testing.T) {
+	// Unnormalized weights must behave like probabilities.
+	d := MustModalSizes(Mode{Size: 100, Prob: 3}, Mode{Size: 200, Prob: 1})
+	if got, want := d.Mean(), 125.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+}
+
+func TestModalSizesErrors(t *testing.T) {
+	if _, err := NewModalSizes(); err == nil {
+		t.Error("empty mode list should error")
+	}
+	if _, err := NewModalSizes(Mode{Size: 0, Prob: 1}); err == nil {
+		t.Error("zero size should error")
+	}
+	if _, err := NewModalSizes(Mode{Size: 100, Prob: 0}); err == nil {
+		t.Error("zero probability should error")
+	}
+	if _, err := NewModalSizes(Mode{Size: 100, Prob: -1}); err == nil {
+		t.Error("negative probability should error")
+	}
+}
+
+func TestInternetMixSamplesOnlyKnownSizes(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		switch InternetMix.Sample(r) {
+		case 40, 576, 1500:
+		default:
+			t.Fatal("InternetMix produced an unknown size")
+		}
+	}
+}

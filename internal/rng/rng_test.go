@@ -1,0 +1,215 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split("cross-traffic")
+	b := root.Split("probing")
+	// The two sub-streams must not be identical.
+	diff := false
+	for i := 0; i < 64; i++ {
+		if a.Uint64() != b.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("split sub-streams with different labels are identical")
+	}
+}
+
+func TestSplitStableAcrossRuns(t *testing.T) {
+	x := New(7).Split("x").Uint64()
+	y := New(7).Split("x").Uint64()
+	if x != y {
+		t.Error("Split not deterministic for identical seed+label")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestExpMeanAndMemorylessness(t *testing.T) {
+	r := New(11)
+	const mean = 3.5
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("exponential mean = %g, want ~%g", got, mean)
+	}
+}
+
+func TestExpPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestParetoMean(t *testing.T) {
+	// E[X] = alpha*xm/(alpha-1) for alpha > 1. With alpha=2.5, xm=1 → 5/3.
+	r := New(13)
+	const alpha, xm = 2.5, 1.0
+	want := alpha * xm / (alpha - 1)
+	var sum float64
+	n := 400000
+	for i := 0; i < n; i++ {
+		sum += r.Pareto(alpha, xm)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Pareto mean = %g, want ~%g", got, want)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(1.5, 2.0); v < 2.0 {
+			t.Fatalf("Pareto variate %g below minimum 2.0", v)
+		}
+	}
+}
+
+func TestBoundedParetoCap(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		v := r.BoundedPareto(1.1, 1.0, 50.0)
+		if v < 1.0 || v > 50.0 {
+			t.Fatalf("BoundedPareto variate %g outside [1, 50]", v)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// With alpha=1.5 the tail P(X > x) = x^-1.5; check the empirical tail
+	// at x=10 is near 10^-1.5 ≈ 0.0316.
+	r := New(23)
+	n := 300000
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Pareto(1.5, 1.0) > 10 {
+			count++
+		}
+	}
+	got := float64(count) / float64(n)
+	want := math.Pow(10, -1.5)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("P(X>10) = %g, want ~%g", got, want)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(29)
+	n := 300000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %g, want ~1", variance)
+	}
+}
+
+func TestIntnRangeProperty(t *testing.T) {
+	r := New(31)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %g out of range", v)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/unit"
+)
+
+// Link is a store-and-forward output link: packets queue in FIFO order,
+// are transmitted one at a time at Capacity, and reach the next hop after
+// PropDelay. A Link belongs to exactly one Sim.
+type Link struct {
+	sim *Sim
+
+	// Name identifies the link in diagnostics ("hop2", "tight", ...).
+	Name string
+	// Capacity is the transmission rate C_i.
+	Capacity unit.Rate
+	// PropDelay is the fixed propagation latency to the next hop.
+	PropDelay time.Duration
+	// BufferBytes caps the queue size in bytes, counting queued packets
+	// but not the one in transmission. Zero means unbounded (the paper's
+	// simulations never drop probe traffic except in the TCP study).
+	BufferBytes unit.Bytes
+
+	queue       []*Packet
+	head        int
+	queuedBytes unit.Bytes
+	busy        bool
+
+	// Statistics.
+	forwarded   int64
+	dropped     int64
+	bytesServed unit.Bytes
+
+	rec *Recorder
+}
+
+// NewLink attaches a link to the simulation. Capacity must be positive.
+func (s *Sim) NewLink(name string, capacity unit.Rate, propDelay time.Duration) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: link %q with non-positive capacity %v", name, capacity))
+	}
+	if propDelay < 0 {
+		panic(fmt.Sprintf("sim: link %q with negative propagation delay %v", name, propDelay))
+	}
+	return &Link{sim: s, Name: name, Capacity: capacity, PropDelay: propDelay}
+}
+
+// Attach associates a ground-truth recorder with the link. Pass nil to
+// detach.
+func (l *Link) Attach(r *Recorder) { l.rec = r }
+
+// Forwarded returns the number of packets fully transmitted by the link.
+func (l *Link) Forwarded() int64 { return l.forwarded }
+
+// Dropped returns the number of packets dropped at the queue tail.
+func (l *Link) Dropped() int64 { return l.dropped }
+
+// BytesServed returns the total bytes transmitted.
+func (l *Link) BytesServed() unit.Bytes { return l.bytesServed }
+
+// QueueLen returns the number of packets waiting (excluding the one in
+// service).
+func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+
+// QueuedBytes returns the bytes waiting in the queue.
+func (l *Link) QueuedBytes() unit.Bytes { return l.queuedBytes }
+
+// deliver is the arrival of a packet at the link input.
+func (l *Link) deliver(p *Packet) {
+	now := l.sim.now
+	if l.rec != nil {
+		l.rec.arrival(now, p)
+	}
+	if l.BufferBytes > 0 && l.queuedBytes+p.Size > l.BufferBytes && l.busy {
+		l.dropped++
+		if l.rec != nil {
+			l.rec.drop(now, p)
+		}
+		if p.OnDrop != nil {
+			p.OnDrop(p, l, now)
+		}
+		return
+	}
+	l.push(p)
+	l.queuedBytes += p.Size
+	if !l.busy {
+		l.startTx()
+	}
+}
+
+// startTx begins transmitting the head-of-line packet.
+func (l *Link) startTx() {
+	p := l.pop()
+	l.queuedBytes -= p.Size
+	l.busy = true
+	start := l.sim.now
+	txEnd := start + unit.TxTime(p.Size, l.Capacity)
+	l.sim.At(txEnd, func() {
+		l.forwarded++
+		l.bytesServed += p.Size
+		if l.rec != nil {
+			l.rec.busyInterval(start, txEnd)
+		}
+		// Hand off to the next hop after propagation. Propagation is
+		// pipelined: the link can transmit the next packet while this
+		// one is in flight.
+		if l.PropDelay == 0 {
+			l.advance(p)
+		} else {
+			l.sim.At(txEnd+l.PropDelay, func() { l.advance(p) })
+		}
+		if l.QueueLen() > 0 {
+			l.startTx()
+		} else {
+			l.busy = false
+		}
+	})
+}
+
+func (l *Link) advance(p *Packet) {
+	p.hop++
+	l.sim.forward(p)
+}
+
+// push/pop implement an amortized O(1) FIFO over a slice, compacting when
+// the dead prefix dominates so long simulations do not leak memory.
+func (l *Link) push(p *Packet) { l.queue = append(l.queue, p) }
+
+func (l *Link) pop() *Packet {
+	p := l.queue[l.head]
+	l.queue[l.head] = nil
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.queue) {
+		n := copy(l.queue, l.queue[l.head:])
+		l.queue = l.queue[:n]
+		l.head = 0
+	}
+	return p
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"time"
+
+	"abw/internal/unit"
+)
+
+// Kind classifies packets so recorders can separate probe traffic from
+// the cross traffic whose avail-bw is being estimated.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindCross Kind = iota // background cross traffic
+	KindProbe             // measurement probe packets
+	KindData              // TCP data segments
+	KindAck               // TCP acknowledgments
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCross:
+		return "cross"
+	case KindProbe:
+		return "probe"
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	default:
+		return "unknown"
+	}
+}
+
+// Packet is one simulated packet. Packets are routed hop-by-hop through
+// Route; when the last hop's transmission (plus propagation) completes,
+// OnArrive fires with the delivery time.
+type Packet struct {
+	Size unit.Bytes
+	Kind Kind
+
+	// Flow and Seq identify the packet within its sender's stream; the
+	// probing receiver uses them to reconstruct one-way delays, and TCP
+	// uses them for its sequence space.
+	Flow int
+	Seq  int
+
+	// SentAt is stamped by Inject with the injection time.
+	SentAt time.Duration
+
+	// Route is the remaining sequence of links; hop indexes the next one.
+	Route []*Link
+	hop   int
+
+	// OnArrive, if non-nil, is called at final delivery.
+	OnArrive func(p *Packet, at time.Duration)
+
+	// OnDrop, if non-nil, is called when any link on the route drops the
+	// packet due to a full buffer (TCP relies on this only for counters;
+	// loss detection is end-to-end).
+	OnDrop func(p *Packet, l *Link, at time.Duration)
+
+	// Meta carries protocol-private state (e.g. TCP segment headers).
+	Meta any
+}
+
+// Inject introduces the packet into the simulation at time at, delivering
+// it to the first link of its route (or straight to OnArrive for an empty
+// route, which models a zero-length path).
+func (s *Sim) Inject(p *Packet, at time.Duration) {
+	s.At(at, func() {
+		p.SentAt = s.now
+		p.hop = 0
+		s.forward(p)
+	})
+}
+
+// forward moves the packet into the next element of its route.
+func (s *Sim) forward(p *Packet) {
+	if p.hop < len(p.Route) {
+		p.Route[p.hop].deliver(p)
+		return
+	}
+	if p.OnArrive != nil {
+		p.OnArrive(p, s.now)
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/unit"
+)
+
+// Arrival is one packet arrival observed at a link input.
+type Arrival struct {
+	At   time.Duration
+	Size unit.Bytes
+	Kind Kind
+}
+
+// Interval is a half-open busy period [Start, End) of a link transmitter.
+type Interval struct {
+	Start, End time.Duration
+}
+
+// Recorder captures the ground truth needed to compute the paper's
+// Equations (1)–(3) exactly after a run: every arrival at the link input
+// and every transmitter busy interval. Experiments attach a Recorder to
+// the tight link and derive the population avail-bw process from it.
+type Recorder struct {
+	Capacity unit.Rate
+
+	arrivals []Arrival
+	busy     []Interval
+	drops    int64
+}
+
+// NewRecorder returns a recorder for a link of the given capacity.
+func NewRecorder(capacity unit.Rate) *Recorder {
+	return &Recorder{Capacity: capacity}
+}
+
+func (r *Recorder) arrival(at time.Duration, p *Packet) {
+	r.arrivals = append(r.arrivals, Arrival{At: at, Size: p.Size, Kind: p.Kind})
+}
+
+func (r *Recorder) drop(time.Duration, *Packet) { r.drops++ }
+
+func (r *Recorder) busyInterval(start, end time.Duration) {
+	// Merge with the previous interval when transmissions are
+	// back-to-back, keeping the slice compact during congested periods.
+	if n := len(r.busy); n > 0 && r.busy[n-1].End == start {
+		r.busy[n-1].End = end
+		return
+	}
+	r.busy = append(r.busy, Interval{Start: start, End: end})
+}
+
+// Arrivals returns the recorded arrivals (shared slice; treat as
+// read-only).
+func (r *Recorder) Arrivals() []Arrival { return r.arrivals }
+
+// BusyIntervals returns the recorded busy intervals (shared slice; treat
+// as read-only).
+func (r *Recorder) BusyIntervals() []Interval { return r.busy }
+
+// Drops returns the number of recorded drops.
+func (r *Recorder) Drops() int64 { return r.drops }
+
+// Reset clears the recorded history, keeping the capacity.
+func (r *Recorder) Reset() {
+	r.arrivals = r.arrivals[:0]
+	r.busy = r.busy[:0]
+	r.drops = 0
+}
+
+// Utilization returns u(from, from+window): the fraction of the window
+// during which the transmitter was busy (paper Equation 1). It panics on
+// a non-positive window.
+func (r *Recorder) Utilization(from time.Duration, window time.Duration) float64 {
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: utilization window %v must be positive", window))
+	}
+	to := from + window
+	var busy time.Duration
+	for _, iv := range r.busy {
+		if iv.End <= from {
+			continue
+		}
+		if iv.Start >= to {
+			break
+		}
+		s, e := iv.Start, iv.End
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		busy += e - s
+	}
+	return float64(busy) / float64(window)
+}
+
+// AvailBw returns A(from, from+window) = C·(1−u) per paper Equation (2).
+func (r *Recorder) AvailBw(from, window time.Duration) unit.Rate {
+	return r.Capacity * unit.Rate(1-r.Utilization(from, window))
+}
+
+// AvailBwSeries samples the avail-bw process A_τ(t) on consecutive
+// windows of length tau covering [from, to), i.e. the series the paper
+// plots in Figure 6. Windows that would extend past to are omitted.
+func (r *Recorder) AvailBwSeries(from, to, tau time.Duration) []unit.Rate {
+	if tau <= 0 {
+		panic(fmt.Sprintf("sim: tau %v must be positive", tau))
+	}
+	var out []unit.Rate
+	for t := from; t+tau <= to; t += tau {
+		out = append(out, r.AvailBw(t, tau))
+	}
+	return out
+}
+
+// ArrivalRate returns the average arrival rate of packets matching keep
+// (nil = all kinds) over [from, from+window). This is the fluid-view
+// cross-traffic rate R_c; in a stable (non-overloaded) window it agrees
+// with C·u up to edge effects, and tests assert that agreement.
+func (r *Recorder) ArrivalRate(from, window time.Duration, keep func(Kind) bool) unit.Rate {
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: arrival-rate window %v must be positive", window))
+	}
+	to := from + window
+	var bytes unit.Bytes
+	for _, a := range r.arrivals {
+		if a.At < from || a.At >= to {
+			continue
+		}
+		if keep == nil || keep(a.Kind) {
+			bytes += a.Size
+		}
+	}
+	return unit.RateOf(bytes, window)
+}
+
+// CrossOnly is a keep filter selecting cross traffic.
+func CrossOnly(k Kind) bool { return k == KindCross }

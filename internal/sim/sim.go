@@ -1,0 +1,96 @@
+// Package sim implements the discrete-event packet network simulator that
+// every experiment in the reproduction runs on: store-and-forward links
+// with finite FIFO buffers, propagation delays, per-link ground-truth
+// recorders, and a deterministic virtual clock with nanosecond
+// resolution.
+//
+// The model matches the paper's setting exactly: a path is a sequence of
+// store-and-forward links (Section 1, "Definitions"); cross traffic
+// enters and leaves at arbitrary hops; probing packets traverse the whole
+// path; the avail-bw of link i over (t, t+τ) is C_i·(1 − u_i(t, t+τ))
+// where u is the fraction of time the link's transmitter is busy
+// (Equations 1–2).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/eventq"
+)
+
+// Sim is a single-threaded discrete-event simulation. The zero value is
+// ready to use; time starts at 0.
+type Sim struct {
+	q       eventq.Queue
+	now     time.Duration
+	stopped bool
+}
+
+// New returns an empty simulation.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// At schedules fn at absolute virtual time t. Scheduling strictly in the
+// past panics: it would silently reorder causality.
+func (s *Sim) At(t time.Duration, fn func()) *eventq.Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	return s.q.Schedule(t, fn)
+}
+
+// After schedules fn d after the current time.
+func (s *Sim) After(d time.Duration, fn func()) *eventq.Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel cancels a pending event.
+func (s *Sim) Cancel(e *eventq.Event) { s.q.Cancel(e) }
+
+// Stop makes Run/RunUntil return after the currently executing event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped {
+		e := s.q.Pop()
+		if e == nil {
+			return
+		}
+		s.now = e.At
+		if e.Fn != nil {
+			e.Fn()
+		}
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to
+// t. Events scheduled beyond t stay pending, so simulations can be
+// advanced in measured slices.
+func (s *Sim) RunUntil(t time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		e := s.q.Peek()
+		if e == nil || e.At > t {
+			break
+		}
+		s.q.Pop()
+		s.now = e.At
+		if e.Fn != nil {
+			e.Fn()
+		}
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events, for tests and leak checks.
+func (s *Sim) Pending() int { return s.q.Len() }

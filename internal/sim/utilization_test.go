@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"abw/internal/unit"
+)
+
+func TestUtilizationPartialOverlapExact(t *testing.T) {
+	// One 1500-byte packet on a 100 Mbps link transmits for exactly
+	// 120 µs starting at t=0. Windows that partially overlap the busy
+	// interval must count exactly the overlapping fraction.
+	s := New()
+	l := s.NewLink("l", 100*unit.Mbps, 0)
+	rec := NewRecorder(l.Capacity)
+	l.Attach(rec)
+	s.Inject(&Packet{Size: 1500, Route: []*Link{l}}, 0)
+	s.Run()
+	cases := []struct {
+		from, win time.Duration
+		want      float64
+	}{
+		{0, 120 * time.Microsecond, 1.0},                      // exactly the busy interval
+		{0, 240 * time.Microsecond, 0.5},                      // busy half the window
+		{60 * time.Microsecond, 120 * time.Microsecond, 0.5},  // straddles the end
+		{-60 * time.Microsecond, 120 * time.Microsecond, 0.5}, // straddles the start
+		{120 * time.Microsecond, time.Millisecond, 0},         // after the interval
+		{30 * time.Microsecond, 60 * time.Microsecond, 1.0},   // strictly inside
+	}
+	for _, tc := range cases {
+		if got := rec.Utilization(tc.from, tc.win); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Utilization(%v, %v) = %g, want %g", tc.from, tc.win, got, tc.want)
+		}
+	}
+}
+
+func TestUtilizationManyWindowsSumToBusyTime(t *testing.T) {
+	// The utilization integrated over disjoint windows must equal the
+	// total busy time regardless of window placement — conservation of
+	// the underlying measure.
+	s := New()
+	l := s.NewLink("l", 50*unit.Mbps, 0)
+	rec := NewRecorder(l.Capacity)
+	l.Attach(rec)
+	for i := 0; i < 40; i++ {
+		s.Inject(&Packet{Size: 1500, Route: []*Link{l}}, time.Duration(i)*700*time.Microsecond)
+	}
+	s.Run()
+	var fromWindows time.Duration
+	const win = 333 * time.Microsecond
+	for at := time.Duration(0); at < 40*time.Millisecond; at += win {
+		fromWindows += time.Duration(rec.Utilization(at, win) * float64(win))
+	}
+	var fromIntervals time.Duration
+	for _, iv := range rec.BusyIntervals() {
+		fromIntervals += iv.End - iv.Start
+	}
+	if d := fromWindows - fromIntervals; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("windowed busy time %v != interval busy time %v", fromWindows, fromIntervals)
+	}
+}
+
+func TestMultiHopProbeOWDsAccumulateQueueing(t *testing.T) {
+	// Integration: a probing stream over 3 tight hops must see at least
+	// as much OWD growth as over 1 hop under identical per-hop load —
+	// the mechanism behind Figure 4.
+	owdGrowth := func(hops int) time.Duration {
+		s := New()
+		links := make([]*Link, hops)
+		for i := range links {
+			links[i] = s.NewLink("hop", 50*unit.Mbps, time.Millisecond)
+		}
+		// Identical deterministic per-hop cross traffic: 25 Mbps CBR.
+		for _, l := range links {
+			gap := unit.GapFor(1500, 25*unit.Mbps)
+			for at := time.Duration(0); at < 400*time.Millisecond; at += gap {
+				s.Inject(&Packet{Size: 1500, Kind: KindCross, Route: []*Link{l}}, at)
+			}
+		}
+		// 100-packet probe at 30 Mbps (> A) through all hops.
+		probeGap := unit.GapFor(1500, 30*unit.Mbps)
+		var first, last time.Duration
+		for i := 0; i < 100; i++ {
+			i := i
+			sendAt := 50*time.Millisecond + time.Duration(i)*probeGap
+			s.Inject(&Packet{
+				Size: 1500, Kind: KindProbe, Seq: i,
+				Route: links,
+				OnArrive: func(p *Packet, at time.Duration) {
+					owd := at - p.SentAt
+					if p.Seq == 0 {
+						first = owd
+					}
+					if p.Seq == 99 {
+						last = owd
+					}
+				},
+			}, sendAt)
+		}
+		s.Run()
+		return last - first
+	}
+	g1, g3 := owdGrowth(1), owdGrowth(3)
+	if g1 <= 0 {
+		t.Fatalf("single-hop overload shows no OWD growth: %v", g1)
+	}
+	if g3 < g1 {
+		t.Errorf("3-hop OWD growth %v below 1-hop %v", g3, g1)
+	}
+}

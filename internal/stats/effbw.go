@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// EffectiveBandwidth computes Kelly's effective-bandwidth functional
+//
+//	α(s) = (1/s·τ) · log E[exp(s · X_τ)]
+//
+// over per-window arrival volumes X_τ (in bits), where s > 0 is the
+// space parameter (per bit) and tau is the window length in seconds.
+// The paper's "multiple bottlenecks / burstiness" discussion points to
+// this as the richer alternative to the plain avail-bw definition of
+// Equation (3): unlike the mean rate, α(s) grows with burstiness, so a
+// bursty source at the same mean demands more capacity to meet a given
+// delay/loss constraint. As s → 0 it approaches the mean rate; as s
+// grows it approaches the peak rate.
+//
+// windows is the series of per-window arrival volumes in bits.
+func EffectiveBandwidth(windows []float64, s, tau float64) (float64, error) {
+	if len(windows) == 0 {
+		return 0, fmt.Errorf("stats: effective bandwidth of empty sample")
+	}
+	if s <= 0 || tau <= 0 {
+		return 0, fmt.Errorf("stats: effective bandwidth needs s>0 and tau>0 (got s=%g tau=%g)", s, tau)
+	}
+	// Log-sum-exp for numerical stability: volumes can be ~1e7 bits.
+	maxV := windows[0]
+	for _, v := range windows {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var acc float64
+	for _, v := range windows {
+		acc += math.Exp(s * (v - maxV))
+	}
+	logE := s*maxV + math.Log(acc/float64(len(windows)))
+	return logE / (s * tau), nil
+}

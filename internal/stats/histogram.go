@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a known range, used by the
+// CLIs to visualize avail-bw sample paths and error distributions in
+// plain text.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram builds a histogram with bins equal-width bins over
+// [lo, hi). Values outside the range are tallied separately.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi (got %g, %g)", lo, hi)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}, nil
+}
+
+// Add tallies one value.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case math.IsNaN(v):
+		h.total-- // NaNs are not observations
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// AddAll tallies a sample.
+func (h *Histogram) AddAll(vs []float64) {
+	for _, v := range vs {
+		h.Add(v)
+	}
+}
+
+// Total returns the number of observations (NaNs excluded).
+func (h *Histogram) Total() int { return h.total }
+
+// Bin returns the count of bin i and its [lo, hi) edges.
+func (h *Histogram) Bin(i int) (count int, lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.counts))
+	return h.counts[i], h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Outliers returns the counts below and above the range.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// Render draws the histogram as text bars of at most width characters.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := 1
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i := range h.counts {
+		c, lo, hi := h.Bin(i)
+		bar := strings.Repeat("#", c*width/max)
+		fmt.Fprintf(&b, "%10.2f–%-10.2f %6d %s\n", lo, hi, c, bar)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "%22s %6d below, %d above range\n", "", h.under, h.over)
+	}
+	return b.String()
+}

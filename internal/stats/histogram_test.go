@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"abw/internal/rng"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(5, 5, 10); err == nil {
+		t.Error("lo == hi accepted")
+	}
+	if _, err := NewHistogram(10, 5, 10); err == nil {
+		t.Error("lo > hi accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 5, 9.99})
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, want := range wantCounts {
+		if c, _, _ := h.Bin(i); c != want {
+			t.Errorf("bin %d count = %d, want %d", i, c, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+}
+
+func TestHistogramOutliersAndNaN(t *testing.T) {
+	h, err := NewHistogram(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-1)
+	h.Add(10) // hi edge is exclusive: counts as over
+	h.Add(100)
+	h.Add(math.NaN())
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Errorf("outliers = (%d, %d), want (1, 2)", under, over)
+	}
+	if h.Total() != 3 {
+		t.Errorf("total = %d, want 3 (NaN excluded)", h.Total())
+	}
+}
+
+func TestHistogramBinEdges(t *testing.T) {
+	h, err := NewHistogram(10, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lo, hi := h.Bin(1)
+	if lo != 12.5 || hi != 15 {
+		t.Errorf("bin 1 edges = [%g, %g), want [12.5, 15)", lo, hi)
+	}
+	if h.Bins() != 4 {
+		t.Errorf("Bins = %d", h.Bins())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewHistogram(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		h.Add(r.Uniform(0, 10))
+	}
+	h.Add(-5)
+	out := h.Render(30)
+	if !strings.Contains(out, "#") {
+		t.Error("render has no bars")
+	}
+	if !strings.Contains(out, "below") {
+		t.Error("render omits outliers")
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("render lines = %d, want 3", lines)
+	}
+}
+
+func TestHistogramRoughUniformity(t *testing.T) {
+	h, err := NewHistogram(0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	n := 100000
+	for i := 0; i < n; i++ {
+		h.Add(r.Float64())
+	}
+	for i := 0; i < h.Bins(); i++ {
+		c, _, _ := h.Bin(i)
+		if math.Abs(float64(c)-float64(n)/10) > float64(n)/50 {
+			t.Errorf("bin %d count %d deviates from uniform", i, c)
+		}
+	}
+}

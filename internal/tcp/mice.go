@@ -1,0 +1,135 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/unit"
+)
+
+// MiceConfig parameterizes an aggregate of short TCP transfers — the
+// "many short TCP transfers" cross traffic of Figure 7. Flows arrive as
+// a Poisson process; flow sizes are bounded-Pareto, the canonical
+// heavy-tailed "mice and elephants" mix.
+type MiceConfig struct {
+	// OfferedLoad is the target long-run rate of the aggregate.
+	OfferedLoad unit.Rate
+	// MeanFlowBytes is the mean transfer size (default 40 kB).
+	MeanFlowBytes unit.Bytes
+	// Shape is the bounded-Pareto shape of flow sizes (default 1.3).
+	Shape float64
+	// MaxFlowBytes caps flow sizes (default 200·MeanFlowBytes).
+	MaxFlowBytes unit.Bytes
+	// RcvWnd is each flow's advertised window in segments (default 32).
+	RcvWnd int
+	// MSS is each flow's segment payload (default 1460).
+	MSS unit.Bytes
+}
+
+func (c MiceConfig) withDefaults() (MiceConfig, error) {
+	if c.OfferedLoad <= 0 {
+		return c, fmt.Errorf("tcp: mice offered load must be positive")
+	}
+	if c.MeanFlowBytes == 0 {
+		c.MeanFlowBytes = 40_000
+	}
+	if c.MeanFlowBytes <= 0 {
+		return c, fmt.Errorf("tcp: mean flow size must be positive")
+	}
+	if c.Shape == 0 {
+		c.Shape = 1.3
+	}
+	if c.Shape <= 1 {
+		return c, fmt.Errorf("tcp: flow-size shape must exceed 1")
+	}
+	if c.MaxFlowBytes == 0 {
+		c.MaxFlowBytes = 200 * c.MeanFlowBytes
+	}
+	if c.MaxFlowBytes < c.MeanFlowBytes {
+		return c, fmt.Errorf("tcp: flow-size cap below the mean")
+	}
+	if c.RcvWnd == 0 {
+		c.RcvWnd = 32
+	}
+	if c.RcvWnd < 1 {
+		return c, fmt.Errorf("tcp: mice receiver window must be positive")
+	}
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	return c, nil
+}
+
+// Mice is the short-flow workload generator.
+type Mice struct {
+	cfg   MiceConfig
+	conns []*Conn
+}
+
+// NewMice validates the configuration.
+func NewMice(cfg MiceConfig) (*Mice, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Mice{cfg: c}, nil
+}
+
+// Run schedules flow arrivals on [from, until). Each flow is a
+// size-limited TCP connection over the given routes. flowBase offsets
+// the flow IDs so mice do not collide with other connections' IDs.
+func (m *Mice) Run(s *sim.Sim, fwd, rev []*sim.Link, from, until time.Duration, flowBase int, r *rng.Rand) error {
+	if s == nil || len(fwd) == 0 {
+		return fmt.Errorf("tcp: mice need a simulation and a forward route")
+	}
+	if r == nil {
+		return fmt.Errorf("tcp: mice need a random source")
+	}
+	c := m.cfg
+	// Poisson flow arrivals at rate λ = load / mean size.
+	meanGapSec := float64(c.MeanFlowBytes.Bits()) / float64(c.OfferedLoad)
+	// Bounded-Pareto xm from the mean: for shape a and cap b,
+	// E = a·xm/(a−1)·(1−(xm/b)^{a−1})/(1−(xm/b)^a) ≈ a·xm/(a−1) when
+	// b >> xm; we use the simple form and rely on the cap being large.
+	xm := float64(c.MeanFlowBytes) * (c.Shape - 1) / c.Shape
+	flow := flowBase
+	var step func()
+	at := from
+	step = func() {
+		if at >= until {
+			return
+		}
+		size := unit.Bytes(r.BoundedPareto(c.Shape, xm, float64(c.MaxFlowBytes)))
+		if size < c.MSS {
+			size = c.MSS
+		}
+		conn, err := New(s, fwd, rev, flow, Config{
+			MSS:      c.MSS,
+			RcvWnd:   c.RcvWnd,
+			MaxBytes: size,
+		})
+		if err == nil {
+			m.conns = append(m.conns, conn)
+			conn.Start(s.Now())
+		}
+		flow++
+		at += time.Duration(r.Exp(meanGapSec) * 1e9)
+		s.At(at, step)
+	}
+	s.At(from, step)
+	return nil
+}
+
+// Flows returns the connections started so far.
+func (m *Mice) Flows() []*Conn { return m.conns }
+
+// AckedBytes sums payload delivered across all flows.
+func (m *Mice) AckedBytes() unit.Bytes {
+	var total unit.Bytes
+	for _, c := range m.conns {
+		total += c.AckedBytes()
+	}
+	return total
+}

@@ -1,0 +1,242 @@
+// Package bfind implements BFind (Akella, Seshan & Shaikh, IMC 2003),
+// the odd one out in the paper's classification: it needs control of only
+// the sending end. It ramps up a UDP load on the path while repeatedly
+// "tracerouting" — measuring the round-trip time to every intermediate
+// hop — and declares the avail-bw reached when some hop's RTT shows a
+// sustained rise (a growing queue at that link).
+//
+// Because per-hop RTT observation has no place in the end-to-end
+// core.Transport abstraction, this implementation drives the simulator
+// directly: Estimate type-asserts a *core.SimTransport and emulates the
+// ICMP TTL-expired responses with prefix-routed probe packets.
+package bfind
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/crosstraffic"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/stats"
+	"abw/internal/unit"
+)
+
+// Config tunes the estimator.
+type Config struct {
+	// StartRate is the initial UDP load (default 1 Mbps).
+	StartRate unit.Rate
+	// Step is the per-round rate increase (default 2 Mbps).
+	Step unit.Rate
+	// MaxRate bounds the ramp (required): BFind is intrusive by design
+	// and needs an explicit ceiling.
+	MaxRate unit.Rate
+	// Window is how long each load level is held (default 200 ms).
+	Window time.Duration
+	// TraceProbes is the number of per-hop RTT probes per window
+	// (default 10).
+	TraceProbes int
+	// DelayThreshold is the sustained per-hop queueing-delay increase
+	// that flags a saturated link (default 5 ms).
+	DelayThreshold time.Duration
+	// LoadPktSize is the UDP load packet size (default 1000 B).
+	LoadPktSize unit.Bytes
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.MaxRate <= 0 {
+		return c, fmt.Errorf("bfind: MaxRate is required (the ramp must have a ceiling)")
+	}
+	if c.StartRate == 0 {
+		c.StartRate = 1 * unit.Mbps
+	}
+	if c.StartRate <= 0 || c.StartRate > c.MaxRate {
+		return c, fmt.Errorf("bfind: StartRate %v outside (0, MaxRate]", c.StartRate)
+	}
+	if c.Step == 0 {
+		c.Step = 2 * unit.Mbps
+	}
+	if c.Step <= 0 {
+		return c, fmt.Errorf("bfind: Step must be positive")
+	}
+	if c.Window == 0 {
+		c.Window = 200 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		return c, fmt.Errorf("bfind: Window must be positive")
+	}
+	if c.TraceProbes == 0 {
+		c.TraceProbes = 10
+	}
+	if c.TraceProbes < 2 {
+		return c, fmt.Errorf("bfind: need at least 2 trace probes per window")
+	}
+	if c.DelayThreshold == 0 {
+		c.DelayThreshold = 5 * time.Millisecond
+	}
+	if c.DelayThreshold <= 0 {
+		return c, fmt.Errorf("bfind: DelayThreshold must be positive")
+	}
+	if c.LoadPktSize == 0 {
+		c.LoadPktSize = 1000
+	}
+	return c, nil
+}
+
+// Estimator is the BFind sender-side prober.
+type Estimator struct {
+	cfg Config
+}
+
+// New validates the configuration and returns the estimator.
+func New(cfg Config) (*Estimator, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: c}, nil
+}
+
+// Name implements core.Estimator.
+func (e *Estimator) Name() string { return "bfind" }
+
+// Estimate implements core.Estimator. The transport must be a
+// *core.SimTransport; BFind needs hop visibility that end-to-end
+// transports cannot offer.
+func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+	st, ok := t.(*core.SimTransport)
+	if !ok {
+		return nil, fmt.Errorf("bfind: requires a simulated path (per-hop RTT observation)")
+	}
+	c := e.cfg
+	s, path := st.Sim, st.Path
+	start := s.Now()
+	hops := len(path.Links)
+
+	// Baseline per-hop delays on the unloaded path.
+	baseline := make([]float64, hops)
+	for h := 0; h < hops; h++ {
+		ds := e.traceHop(s, path, h, 5, 10*time.Millisecond)
+		baseline[h] = stats.Mean(ds)
+	}
+
+	var packets int
+	var bytes unit.Bytes
+	saturatedHop := -1
+	rate := c.StartRate
+	estimate := c.MaxRate
+ramp:
+	for ; rate <= c.MaxRate; rate += c.Step {
+		// Offer the UDP load for one window.
+		load := crosstraffic.CBR(crosstraffic.Stream{
+			Rate:  rate,
+			Sizes: rng.FixedSize(c.LoadPktSize),
+			Kind:  sim.KindProbe,
+		})
+		from := s.Now()
+		ctr := load.Run(s, path.Route(), from, from+c.Window)
+		// Trace every hop while the load runs: all probes for all hops
+		// are scheduled inside the window before the clock advances.
+		spacing := c.Window / time.Duration(c.TraceProbes+1)
+		delays := make([][]float64, hops)
+		outstanding := 0
+		for h := 0; h < hops; h++ {
+			delays[h] = make([]float64, 0, c.TraceProbes)
+			h := h
+			for i := 0; i < c.TraceProbes; i++ {
+				sendAt := from + time.Duration(i+1)*spacing
+				s.Inject(&sim.Packet{
+					Size:  40,
+					Kind:  sim.KindProbe,
+					Route: path.Links[:h+1],
+					OnArrive: func(_ *sim.Packet, at time.Duration) {
+						delays[h] = append(delays[h], (at - sendAt).Seconds())
+						outstanding--
+					},
+					OnDrop: func(*sim.Packet, *sim.Link, time.Duration) { outstanding-- },
+				}, sendAt)
+				outstanding++
+			}
+		}
+		deadline := from + c.Window + time.Second
+		for outstanding > 0 && s.Now() < deadline {
+			step := deadline - s.Now()
+			if step > 20*time.Millisecond {
+				step = 20 * time.Millisecond
+			}
+			s.RunUntil(s.Now() + step)
+		}
+		if end := from + c.Window + 100*time.Millisecond; s.Now() < end {
+			s.RunUntil(end)
+		}
+		packets += int(ctr.Packets) + hops*c.TraceProbes
+		bytes += ctr.Bytes
+		for h := 0; h < hops; h++ {
+			if len(delays[h]) == 0 {
+				continue
+			}
+			// Sustained rise: the median of the window's probes exceeds
+			// baseline by the threshold.
+			med := stats.NewCDF(delays[h]).Quantile(0.5)
+			if med-baseline[h] > c.DelayThreshold.Seconds() {
+				saturatedHop = h
+				estimate = rate
+				break ramp
+			}
+		}
+	}
+	rep := &core.Report{
+		Tool:       e.Name(),
+		Point:      estimate,
+		Low:        estimate,
+		High:       estimate,
+		Streams:    1,
+		Packets:    packets,
+		ProbeBytes: bytes,
+		Elapsed:    s.Now() - start,
+	}
+	if saturatedHop == -1 {
+		return rep, fmt.Errorf("bfind: no hop saturated up to %v (avail-bw above the ramp ceiling)", c.MaxRate)
+	}
+	return rep, nil
+}
+
+// traceHop measures n one-way delays to hop h (prefix routing emulates
+// the TTL-expired probe). All probes are scheduled at fixed offsets
+// i·spacing from now — concurrent with whatever load is running — so the
+// samples stay inside the observation window regardless of queueing.
+// The simulation is advanced until every probe resolves. Delays are in
+// seconds.
+func (e *Estimator) traceHop(s *sim.Sim, path *sim.Path, h, n int, spacing time.Duration) []float64 {
+	prefix := path.Links[:h+1]
+	out := make([]float64, 0, n)
+	resolved := 0
+	base := s.Now()
+	var lastSend time.Duration
+	for i := 0; i < n; i++ {
+		sendAt := base + time.Duration(i+1)*spacing
+		lastSend = sendAt
+		s.Inject(&sim.Packet{
+			Size:  40, // ICMP-sized probe
+			Kind:  sim.KindProbe,
+			Route: prefix,
+			OnArrive: func(_ *sim.Packet, at time.Duration) {
+				out = append(out, (at - sendAt).Seconds())
+				resolved++
+			},
+			OnDrop: func(*sim.Packet, *sim.Link, time.Duration) { resolved++ },
+		}, sendAt)
+	}
+	deadline := lastSend + time.Second
+	for resolved < n && s.Now() < deadline {
+		step := deadline - s.Now()
+		if step > 20*time.Millisecond {
+			step = 20 * time.Millisecond
+		}
+		s.RunUntil(s.Now() + step)
+	}
+	return out
+}
+
+var _ core.Estimator = (*Estimator)(nil)

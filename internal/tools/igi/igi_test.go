@@ -1,0 +1,121 @@
+package igi
+
+import (
+	"math"
+	"testing"
+
+	"abw/internal/tools/toolstest"
+	"abw/internal/unit"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Mode: IGI}); err == nil {
+		t.Error("IGI without capacity accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("PTR without init rate accepted")
+	}
+	if _, err := New(Config{InitRate: 50 * unit.Mbps, TrainLen: 2}); err == nil {
+		t.Error("too-short train accepted")
+	}
+	if _, err := New(Config{InitRate: 50 * unit.Mbps, Epsilon: 1.5}); err == nil {
+		t.Error("epsilon >= 1 accepted")
+	}
+	if _, err := New(Config{InitRate: 50 * unit.Mbps, GapStep: -0.1}); err == nil {
+		t.Error("negative gap step accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	ptr, err := New(Config{InitRate: 50 * unit.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptr.Name() != "ptr" {
+		t.Errorf("Name = %q, want ptr", ptr.Name())
+	}
+	ig, err := New(Config{Mode: IGI, Capacity: 50 * unit.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ig.Name() != "igi" {
+		t.Errorf("Name = %q, want igi", ig.Name())
+	}
+}
+
+func TestPTRConvergesCBR(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{Model: toolstest.CBR, CrossSize: 200})
+	e, err := New(Config{InitRate: 50 * unit.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Estimate(sc.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Point.MbpsOf()
+	if math.Abs(got-25) > 6 {
+		t.Errorf("PTR estimate = %.2f Mbps, want ~25", got)
+	}
+	if rep.Streams < 2 {
+		t.Errorf("PTR should iterate: %d streams", rep.Streams)
+	}
+}
+
+func TestIGIConvergesCBR(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{Model: toolstest.CBR, CrossSize: 200})
+	e, err := New(Config{Mode: IGI, Capacity: sc.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Estimate(sc.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Point.MbpsOf()
+	if math.Abs(got-25) > 6 {
+		t.Errorf("IGI estimate = %.2f Mbps, want ~25", got)
+	}
+}
+
+func TestPTRPoissonPlausible(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: 17})
+	e, err := New(Config{InitRate: 50 * unit.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Estimate(sc.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Point.MbpsOf()
+	if got < 12 || got > 33 {
+		t.Errorf("PTR estimate under Poisson = %.2f Mbps, want within [12, 33]", got)
+	}
+}
+
+func TestIGIEstimateClampedNonNegative(t *testing.T) {
+	// Heavily bursty traffic must not drive the IGI formula negative.
+	sc := toolstest.New(toolstest.Options{Model: toolstest.ParetoOnOff, Seed: 23})
+	e, err := New(Config{Mode: IGI, Capacity: sc.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Estimate(sc.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Point < 0 {
+		t.Errorf("IGI estimate negative: %v", rep.Point)
+	}
+}
+
+func TestSixtyPacketDefault(t *testing.T) {
+	e, err := New(Config{InitRate: 50 * unit.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.TrainLen != 60 {
+		t.Errorf("default train length = %d, want 60 (published value)", e.cfg.TrainLen)
+	}
+}

@@ -1,0 +1,219 @@
+// Package pathchirp implements pathChirp (Ribeiro, Riedi, Baraniuk,
+// Navratil & Cottrell, PAM 2003): iterative probing with exponentially
+// spaced "chirps". A single chirp of N packets probes N−1 rates at once —
+// the efficiency the paper's classification notes — because every
+// consecutive packet pair has a different instantaneous rate, growing
+// geometrically from Lo to Hi.
+//
+// Per chirp, the queuing-delay signature is analyzed for excursions:
+// segments where the delay rises and later drains. The onset of the final
+// excursion that never drains marks the rate at which the chirp began to
+// exceed the avail-bw; that pair's rate is the chirp's estimate.
+// pathChirp reports a single estimate averaged over a sequence of chirps.
+package pathchirp
+
+import (
+	"fmt"
+
+	"abw/internal/core"
+	"abw/internal/probe"
+	"abw/internal/stats"
+	"abw/internal/unit"
+)
+
+// Config tunes the estimator.
+type Config struct {
+	// Lo and Hi bound the rates probed within each chirp (required).
+	Lo, Hi unit.Rate
+	// PacketsPerChirp is N (default 15).
+	PacketsPerChirp int
+	// Chirps is the number of chirps averaged (default 12).
+	Chirps int
+	// PktSize is the probe packet size (default 1000 B, pathChirp's
+	// default probe size).
+	PktSize unit.Bytes
+	// Gamma is the nominal spread factor between consecutive gaps
+	// (default 1.2); the chirp builder refits it to span [Lo, Hi]
+	// exactly.
+	Gamma float64
+	// JitterFactor scales the excursion-detection threshold relative to
+	// the chirp's median queuing delay step (default 1.0).
+	JitterFactor float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Lo <= 0 || c.Hi <= c.Lo {
+		return c, fmt.Errorf("pathchirp: need 0 < Lo < Hi (got %v, %v)", c.Lo, c.Hi)
+	}
+	if c.PacketsPerChirp == 0 {
+		c.PacketsPerChirp = 15
+	}
+	if c.PacketsPerChirp < 3 {
+		return c, fmt.Errorf("pathchirp: chirp needs at least 3 packets")
+	}
+	if c.Chirps == 0 {
+		c.Chirps = 12
+	}
+	if c.Chirps < 1 {
+		return c, fmt.Errorf("pathchirp: need at least one chirp")
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1.2
+	}
+	if c.Gamma <= 1 {
+		return c, fmt.Errorf("pathchirp: gamma %g must exceed 1", c.Gamma)
+	}
+	if c.JitterFactor == 0 {
+		c.JitterFactor = 1.0
+	}
+	if c.JitterFactor < 0 {
+		return c, fmt.Errorf("pathchirp: negative jitter factor")
+	}
+	return c, nil
+}
+
+// Estimator is the pathChirp iterative prober.
+type Estimator struct {
+	cfg Config
+}
+
+// New validates the configuration and returns the estimator.
+func New(cfg Config) (*Estimator, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: c}, nil
+}
+
+// Name implements core.Estimator.
+func (e *Estimator) Name() string { return "pathchirp" }
+
+// Estimate implements core.Estimator.
+func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+	c := e.cfg
+	start := t.Now()
+	spec, err := probe.Chirp(c.Lo, c.Hi, c.PktSize, c.PacketsPerChirp, c.Gamma)
+	if err != nil {
+		return nil, fmt.Errorf("pathchirp: %w", err)
+	}
+	var perChirp []float64
+	var streams, packets int
+	var bytes unit.Bytes
+	for i := 0; i < c.Chirps; i++ {
+		rec, err := t.Probe(spec)
+		if err != nil {
+			return nil, fmt.Errorf("pathchirp: chirp %d: %w", i, err)
+		}
+		streams++
+		packets += spec.Count
+		bytes += spec.Bytes()
+		if est, ok := e.analyzeChirp(rec); ok {
+			perChirp = append(perChirp, float64(est))
+		}
+	}
+	if len(perChirp) == 0 {
+		return nil, fmt.Errorf("pathchirp: no analyzable chirps out of %d", c.Chirps)
+	}
+	min, max := stats.MinMax(perChirp)
+	return &core.Report{
+		Tool:       e.Name(),
+		Point:      unit.Rate(stats.Mean(perChirp)),
+		Low:        unit.Rate(min),
+		High:       unit.Rate(max),
+		Streams:    streams,
+		Packets:    packets,
+		ProbeBytes: bytes,
+		Elapsed:    t.Now() - start,
+	}, nil
+}
+
+// analyzeChirp locates the onset of the terminal queuing-delay excursion
+// and returns the instantaneous rate at that pair.
+func (e *Estimator) analyzeChirp(rec *probe.Record) (unit.Rate, bool) {
+	if rec.LossCount() > 0 {
+		// A lost packet inside a chirp breaks the pair sequence; treat
+		// the chirp as saturated at the first loss.
+		for k := 0; k < len(rec.Recv); k++ {
+			if rec.Recv[k] == probe.Lost {
+				if k == 0 {
+					return e.cfg.Lo, true
+				}
+				return rec.Spec.RateAtPair(k - 1), true
+			}
+		}
+	}
+	owds := rec.OWDs()
+	if len(owds) < 3 {
+		return 0, false
+	}
+	q := make([]float64, len(owds))
+	minOWD := owds[0]
+	for _, d := range owds[1:] {
+		if d < minOWD {
+			minOWD = d
+		}
+	}
+	for i, d := range owds {
+		q[i] = (d - minOWD).Seconds()
+	}
+	// Jitter threshold: median absolute delay step.
+	steps := make([]float64, 0, len(q)-1)
+	for i := 1; i < len(q); i++ {
+		d := q[i] - q[i-1]
+		if d < 0 {
+			d = -d
+		}
+		steps = append(steps, d)
+	}
+	thresh := medianOf(steps) * e.cfg.JitterFactor
+	if thresh == 0 {
+		thresh = 1e-7 // 100ns floor: virtually noise-free transport
+	}
+	// Walk backwards: find the last index where the delay was at the
+	// floor (≤ thresh above minimum). Everything after it is the
+	// terminal excursion.
+	onset := len(q) - 1
+	for i := len(q) - 1; i >= 0; i-- {
+		if q[i] <= thresh {
+			onset = i
+			break
+		}
+		onset = i
+	}
+	last := len(q) - 1
+	if q[last] <= 2*thresh {
+		// The chirp drained by its end: it never durably exceeded the
+		// avail-bw, so the estimate is the top chirp rate.
+		return rec.Spec.RateAtPair(rec.Spec.Count - 2), true
+	}
+	if onset >= rec.Spec.Count-1 {
+		onset = rec.Spec.Count - 2
+	}
+	r := rec.Spec.RateAtPair(onset)
+	if r <= 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	if len(tmp)%2 == 1 {
+		return tmp[len(tmp)/2]
+	}
+	return (tmp[len(tmp)/2-1] + tmp[len(tmp)/2]) / 2
+}
+
+var _ core.Estimator = (*Estimator)(nil)

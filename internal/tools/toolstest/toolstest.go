@@ -1,0 +1,111 @@
+// Package toolstest provides shared scenario builders for estimation-tool
+// tests: the paper's canonical single-hop setting (50 Mbps tight link,
+// 25 Mbps cross traffic) and its multi-hop variant, each exposing the
+// ground-truth avail-bw for assertions.
+package toolstest
+
+import (
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/crosstraffic"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/unit"
+)
+
+// Scenario bundles a transport with its ground truth.
+type Scenario struct {
+	Transport *core.SimTransport
+	Sim       *sim.Sim
+	Path      *sim.Path
+	Recorders []*sim.Recorder
+	// TrueAvailBw is the configured long-run avail-bw of the tight link.
+	TrueAvailBw unit.Rate
+	// Capacity is the tight-link capacity.
+	Capacity unit.Rate
+}
+
+// Traffic selects the cross-traffic model.
+type Traffic int
+
+// Cross-traffic models for scenarios.
+const (
+	CBR Traffic = iota
+	Poisson
+	ParetoOnOff
+)
+
+// Options configures a scenario; zero values take the paper's canonical
+// parameters.
+type Options struct {
+	Capacity  unit.Rate     // default 50 Mbps
+	CrossRate unit.Rate     // default 25 Mbps
+	Model     Traffic       // default CBR
+	CrossSize int           // cross packet size, default 1500 (CBR uses it too)
+	Hops      int           // default 1
+	Horizon   time.Duration // how long cross traffic is scheduled, default 120 s
+	Seed      uint64        // default 1
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity == 0 {
+		o.Capacity = 50 * unit.Mbps
+	}
+	if o.CrossRate == 0 {
+		o.CrossRate = 25 * unit.Mbps
+	}
+	if o.CrossSize == 0 {
+		o.CrossSize = 1500
+	}
+	if o.Hops == 0 {
+		o.Hops = 1
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 120 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// New builds a scenario: Hops identical tight links, each carrying
+// one-hop-persistent cross traffic of the chosen model at CrossRate.
+func New(opts Options) *Scenario {
+	o := opts.withDefaults()
+	s := sim.New()
+	root := rng.New(o.Seed)
+	links := make([]*sim.Link, o.Hops)
+	recs := make([]*sim.Recorder, o.Hops)
+	for i := range links {
+		links[i] = s.NewLink("hop", o.Capacity, time.Millisecond)
+		recs[i] = sim.NewRecorder(o.Capacity)
+		links[i].Attach(recs[i])
+	}
+	path := sim.MustPath(links...)
+	crosstraffic.OnePersistentPerHop(s, path, 0, o.Horizon, func(hop int) crosstraffic.Model {
+		cfg := crosstraffic.Stream{
+			Rate:  o.CrossRate,
+			Sizes: rng.FixedSize(o.CrossSize),
+			Flow:  1000 + hop,
+		}
+		r := root.Split("hop" + string(rune('0'+hop)))
+		switch o.Model {
+		case Poisson:
+			return crosstraffic.Poisson(cfg, r)
+		case ParetoOnOff:
+			return crosstraffic.ParetoOnOff(crosstraffic.ParetoOnOffConfig{Stream: cfg, OffCap: 200}, r)
+		default:
+			return crosstraffic.CBR(cfg)
+		}
+	})
+	return &Scenario{
+		Transport:   core.NewSimTransport(s, path),
+		Sim:         s,
+		Path:        path,
+		Recorders:   recs,
+		TrueAvailBw: o.Capacity - o.CrossRate,
+		Capacity:    o.Capacity,
+	}
+}

@@ -1,0 +1,256 @@
+// Package topp implements TOPP — Trains Of Packet Pairs (Melander,
+// Björkman & Gunningberg, Global Internet 2000) — the canonical iterative
+// prober. The offered rate increases linearly across probing rounds; each
+// round sends many packet pairs at that rate and measures the average
+// ratio Ri/Ro. In the fluid model,
+//
+//	Ri/Ro = Ri/C_t + (C_t − A)/C_t    for Ri > A,
+//	Ri/Ro = 1                          for Ri ≤ A,
+//
+// so TOPP both locates the knee (the avail-bw) and recovers the tight
+// link capacity from the slope of the overloaded segment — the feature
+// the paper highlights in its classification.
+package topp
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/probe"
+	"abw/internal/stats"
+	"abw/internal/unit"
+)
+
+// Config tunes the estimator.
+type Config struct {
+	// MinRate/MaxRate bound the linear sweep (required, Min < Max).
+	MinRate, MaxRate unit.Rate
+	// Step is the rate increment per round (default (Max−Min)/15).
+	Step unit.Rate
+	// PairsPerRate is the number of packet pairs per probing round
+	// (default 40).
+	PairsPerRate int
+	// PktSize is the probe packet size (default 1500 B).
+	PktSize unit.Bytes
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.MinRate <= 0 || c.MaxRate <= c.MinRate {
+		return c, fmt.Errorf("topp: need 0 < MinRate < MaxRate (got %v, %v)", c.MinRate, c.MaxRate)
+	}
+	if c.Step == 0 {
+		c.Step = (c.MaxRate - c.MinRate) / 15
+	}
+	if c.Step <= 0 {
+		return c, fmt.Errorf("topp: step %v must be positive", c.Step)
+	}
+	if c.PairsPerRate == 0 {
+		c.PairsPerRate = 40
+	}
+	if c.PairsPerRate < 1 {
+		return c, fmt.Errorf("topp: pairs per rate must be positive")
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1500
+	}
+	return c, nil
+}
+
+// Estimator is the TOPP iterative prober.
+type Estimator struct {
+	cfg Config
+}
+
+// New validates the configuration and returns the estimator.
+func New(cfg Config) (*Estimator, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: c}, nil
+}
+
+// Name implements core.Estimator.
+func (e *Estimator) Name() string { return "topp" }
+
+// roundResult is one probing round of the sweep.
+type roundResult struct {
+	ri    unit.Rate
+	ratio float64 // mean Ri/Ro over the round's pairs
+}
+
+// Estimate implements core.Estimator: linear sweep, then knee location
+// by a piecewise fit (flat below the knee, linear above — the shape
+// the fluid model predicts) plus segment regression for the capacity
+// estimate. The piecewise fit is what makes the tool usable under real
+// cross traffic, where individual pair ratios are heavily quantized by
+// discrete cross packets (the paper's fourth misconception describes
+// exactly this noise).
+func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+	c := e.cfg
+	start := t.Now()
+	var rounds []roundResult
+	var streams, packets int
+	var bytes unit.Bytes
+	for ri := c.MinRate; ri <= c.MaxRate+c.Step/2; ri += c.Step {
+		// A round is a train of pairs: pairs back-to-back internally at
+		// ri, separated widely enough not to build standing queues.
+		spec, err := pairTrain(ri, c.PktSize, c.PairsPerRate)
+		if err != nil {
+			return nil, fmt.Errorf("topp: %w", err)
+		}
+		rec, err := t.Probe(spec)
+		if err != nil {
+			return nil, fmt.Errorf("topp: %w", err)
+		}
+		streams++
+		packets += spec.Count
+		bytes += spec.Bytes()
+		// Round ratio from summed gaps: Σgout/Σgin is far less noisy
+		// than the mean of per-pair ratios under quantized cross
+		// traffic.
+		var gin, gout time.Duration
+		for k := 0; k < c.PairsPerRate; k++ {
+			g := rec.Gap(2 * k)
+			if g == probe.Lost || g <= 0 {
+				continue
+			}
+			gin += rec.Sent[2*k+1] - rec.Sent[2*k]
+			gout += g
+		}
+		if gin <= 0 {
+			continue
+		}
+		rounds = append(rounds, roundResult{ri: ri, ratio: float64(gout) / float64(gin)})
+	}
+	if len(rounds) < 3 {
+		return nil, fmt.Errorf("topp: too few measurable rounds (%d)", len(rounds))
+	}
+	knee := kneeIndex(rounds)
+	point := rounds[knee].ri
+	// Capacity from regression over the overloaded segment:
+	// Ri/Ro = Ri/C_t + (C_t−A)/C_t → slope = 1/C_t.
+	var capEst, regPoint unit.Rate
+	var xs, ys []float64
+	for _, r := range rounds[knee+1:] {
+		xs = append(xs, float64(r.ri))
+		ys = append(ys, r.ratio)
+	}
+	if len(xs) >= 3 {
+		if intercept, slope, r2, err := stats.LinearFit(xs, ys); err == nil && slope > 0 && r2 > 0.5 {
+			capEst = unit.Rate(1 / slope)
+			// A = C_t(1 − intercept): refine the knee estimate with the
+			// regression when it is credible.
+			a := unit.Rate(float64(capEst) * (1 - intercept))
+			if a > 0 && a < capEst {
+				regPoint = a
+			}
+		}
+	}
+	low, high := point, point
+	if regPoint > 0 {
+		// Blend: keep the sweep knee as the range anchor, report the
+		// regression refinement as the point estimate.
+		if regPoint < low {
+			low = regPoint
+		}
+		if regPoint > high {
+			high = regPoint
+		}
+		point = regPoint
+	}
+	return &core.Report{
+		Tool:       e.Name(),
+		Point:      point,
+		Low:        low,
+		High:       high,
+		Streams:    streams,
+		Packets:    packets,
+		ProbeBytes: bytes,
+		Elapsed:    t.Now() - start,
+		Capacity:   capEst,
+	}, nil
+}
+
+// kneeIndex fits the fluid response shape — flat for rates up to the
+// knee, a straight line beyond — for every candidate knee and returns
+// the one with the least squared error. The flat level is a free
+// parameter (the segment mean) rather than the fluid model's 1.0: under
+// real cross traffic, pair dispersion has a burstiness-induced baseline
+// expansion even below the avail-bw (the effect the paper's Figure 3
+// documents), and anchoring at 1.0 would push the knee to zero.
+func kneeIndex(rounds []roundResult) int {
+	n := len(rounds)
+	best, bestCost := 0, 0.0
+	for j := 0; j < n; j++ {
+		cost := 0.0
+		flat := stats.Mean(ratios(rounds[:j+1]))
+		for i := 0; i <= j; i++ {
+			d := rounds[i].ratio - flat
+			cost += d * d
+		}
+		over := rounds[j+1:]
+		switch {
+		case len(over) >= 3:
+			xs := make([]float64, len(over))
+			ys := make([]float64, len(over))
+			for i, r := range over {
+				xs[i] = float64(r.ri)
+				ys[i] = r.ratio
+			}
+			if a, b, _, err := stats.LinearFit(xs, ys); err == nil && b > 0 {
+				for i := range xs {
+					d := ys[i] - (a + b*xs[i])
+					cost += d * d
+				}
+			} else {
+				// A non-increasing "overload" segment is implausible;
+				// penalize with deviation from its own mean.
+				m := stats.Mean(ys)
+				for _, y := range ys {
+					cost += (y - m) * (y - m)
+				}
+			}
+		case len(over) > 0:
+			m := stats.Mean(ratios(over))
+			for _, r := range over {
+				cost += (r.ratio - m) * (r.ratio - m)
+			}
+		}
+		if j == 0 || cost < bestCost {
+			best, bestCost = j, cost
+		}
+	}
+	return best
+}
+
+func ratios(rs []roundResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.ratio
+	}
+	return out
+}
+
+// pairTrain builds a stream of n pairs at internal rate ri with relaxed
+// inter-pair spacing (8 packet times), matching TOPP's probing pattern:
+// pairs probe the instantaneous rate while the train's average load stays
+// well below it.
+func pairTrain(ri unit.Rate, size unit.Bytes, n int) (probe.StreamSpec, error) {
+	if n < 1 {
+		return probe.StreamSpec{}, fmt.Errorf("topp: empty pair train")
+	}
+	intra := unit.GapFor(size, ri)
+	inter := 8 * intra
+	gaps := make([]time.Duration, 0, 2*n-1)
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			gaps = append(gaps, inter)
+		}
+		gaps = append(gaps, intra)
+	}
+	return probe.StreamSpec{PktSize: size, Count: 2 * n, Gaps: gaps}, nil
+}
+
+var _ core.Estimator = (*Estimator)(nil)

@@ -9,12 +9,15 @@
 package abw_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"abw/internal/core"
 	"abw/internal/exp"
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/stats"
 	"abw/internal/tools/delphi"
 	"abw/internal/tools/pathload"
@@ -190,6 +193,30 @@ func BenchmarkNarrowVsTight(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.WithNarrowCapacity-res.TrueAvailBwMbps, "narrow-bias-mbps")
+	}
+}
+
+// BenchmarkParallelScaling runs the same Figure 3 grid with 1 worker
+// (serial execution) and one worker per CPU, quantifying the trial
+// engine's wall-clock speedup. The results are bit-identical at every
+// worker count (TestParallelDeterminism); only the elapsed time moves.
+// On a 4-core machine the all-cores case is expected to finish the grid
+// at least ~2x faster than workers-1.
+func BenchmarkParallelScaling(b *testing.B) {
+	cfg := exp.Figure3Config{
+		Rates:   []unit.Rate{10 * unit.Mbps, 17.5 * unit.Mbps, 22.5 * unit.Mbps, 27.5 * unit.Mbps},
+		Streams: 120, StreamLen: 40, Seed: 1,
+	}
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			runner.SetWorkers(w)
+			defer runner.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Figure3(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -4,7 +4,8 @@
 // models and trace substrate, the seven estimation tools it classifies
 // (Delphi, TOPP, Pathload, pathChirp, IGI/PTR, Spruce, BFind), a
 // packet-level TCP Reno, a live UDP probing transport, and one
-// experiment per table and figure in the paper.
+// experiment per table and figure in the paper, all running their
+// trials on a parallel, deterministic trial engine (internal/runner).
 //
 // Entry points:
 //

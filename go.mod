@@ -1,0 +1,3 @@
+module abw
+
+go 1.21

@@ -6,6 +6,7 @@ import (
 
 	"abw/internal/core"
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/sim"
 	"abw/internal/tools/delphi"
 	"abw/internal/tools/igi"
@@ -46,7 +47,11 @@ func (c CompareConfig) withDefaults() CompareConfig {
 type CompareEntry struct {
 	Tool   string
 	Report *core.Report
-	Err    error
+	// Err is the tool's estimation failure, if any. ErrMsg carries its
+	// text into the structured JSON output, where a bare error
+	// interface would marshal as {}.
+	Err    error  `json:"-"`
+	ErrMsg string `json:"Err,omitempty"`
 }
 
 // CompareResult is the comparison outcome.
@@ -100,14 +105,26 @@ func CompareTools(cfg CompareConfig) (*CompareResult, error) {
 			return spruce.New(spruce.Config{Capacity: c.Capacity, Rand: rng.New(c.Seed + 1)})
 		}},
 	}
-	for _, b := range builders {
+	// Each tool probes its own scenario copy, so every tool is one
+	// runner job; a tool's estimation failure is recorded as its entry,
+	// not an experiment error.
+	entries, err := runner.All(len(builders), func(bi int) (CompareEntry, error) {
+		b := builders[bi]
 		est, err := b.build()
 		if err != nil {
-			return nil, fmt.Errorf("exp: compare: %s: %w", b.name, err)
+			return CompareEntry{}, fmt.Errorf("exp: compare: %s: %w", b.name, err)
 		}
 		rep, err := est.Estimate(scenario())
-		res.Entries = append(res.Entries, CompareEntry{Tool: b.name, Report: rep, Err: err})
+		e := CompareEntry{Tool: b.name, Report: rep, Err: err}
+		if err != nil {
+			e.ErrMsg = err.Error()
+		}
+		return e, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Entries = entries
 	return res, nil
 }
 

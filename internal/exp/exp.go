@@ -59,6 +59,53 @@ func (t *Table) Render(w io.Writer) {
 	}
 }
 
+// Markdown writes the table as a GitHub-flavored markdown table under a
+// heading — the building block of the generated EXPERIMENTS.md.
+func (t *Table) Markdown(w io.Writer) {
+	esc := func(cells []string) []string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = strings.ReplaceAll(c, "|", `\|`)
+		}
+		return out
+	}
+	fmt.Fprintf(w, "### %s\n\n", t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(esc(t.Header), " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Header))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(esc(cells), " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// PaperClaim returns the note carrying the paper's reported values —
+// the "paper" side of EXPERIMENTS.md's paper-vs-measured rows. Tables
+// prefix that note with "paper:"; the first note is the fallback.
+func (t *Table) PaperClaim() string {
+	for _, n := range t.Notes {
+		if strings.HasPrefix(n, "paper:") {
+			return strings.TrimSpace(strings.TrimPrefix(n, "paper:"))
+		}
+	}
+	if len(t.Notes) > 0 {
+		return t.Notes[0]
+	}
+	return ""
+}
+
 func pad(s string, w int) string {
 	if len(s) >= w {
 		return s

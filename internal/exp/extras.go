@@ -10,6 +10,7 @@ import (
 	"abw/internal/fluid"
 	"abw/internal/probe"
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/sim"
 	"abw/internal/stats"
 	"abw/internal/unit"
@@ -73,48 +74,73 @@ type LatencyAccuracyResult struct {
 // fewer or shorter streams finish sooner but err more, because shorter
 // streams mean a smaller averaging timescale (larger population
 // variance) and fewer streams mean fewer samples (Equation 11).
+// Every (duration, count, trial) cell is one runner job with its own
+// simulator, seeded — as before the refactor — from the experiment seed
+// and the three indices. Per-cell aggregation happens afterwards in
+// index order, so the floating-point summation order (and hence the
+// result) is identical at every worker count.
 func LatencyAccuracy(cfg LatencyAccuracyConfig) (*LatencyAccuracyResult, error) {
 	c := cfg.withDefaults()
 	res := &LatencyAccuracyResult{Config: c}
 	trueA := (c.Capacity - c.CrossRate).MbpsOf()
+	type trialOut struct {
+		probing time.Duration
+		sq      float64
+		ok      bool
+	}
+	jobs := len(c.Durations) * len(c.Counts) * c.Trials
+	outs, err := runner.All(jobs, func(job int) (trialOut, error) {
+		di := job / (len(c.Counts) * c.Trials)
+		ni := job / c.Trials % len(c.Counts)
+		trial := job % c.Trials
+		d, n := c.Durations[di], c.Counts[ni]
+		s := sim.New()
+		link := s.NewLink("tight", c.Capacity, time.Millisecond)
+		path := sim.MustPath(link)
+		root := rng.New(c.Seed + uint64(di*1000+ni*100+trial))
+		spec := probe.PeriodicForDuration(c.ProbeRate, 1500, d)
+		horizon := time.Duration(n+2)*(2*spec.Duration()+20*time.Millisecond) + time.Second
+		crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate}, root.Split("cross")).
+			Run(s, path.Route(), 0, horizon)
+		tp := core.NewSimTransport(s, path)
+		tp.Spacing = 10 * time.Millisecond
+		t0 := tp.Now()
+		var samples []float64
+		for i := 0; i < n; i++ {
+			rec, err := tp.Probe(spec)
+			if err != nil {
+				return trialOut{}, fmt.Errorf("exp: latency-accuracy: %w", err)
+			}
+			ri, ro := rec.InputRate(), rec.OutputRate()
+			if ri <= 0 || ro <= 0 {
+				continue
+			}
+			a, err := fluid.DirectEstimate(c.Capacity, ri, ro)
+			if err != nil {
+				continue
+			}
+			samples = append(samples, a.MbpsOf())
+		}
+		out := trialOut{probing: tp.Now() - t0}
+		if len(samples) > 0 {
+			e := (stats.Mean(samples) - trueA) / trueA
+			out.sq, out.ok = e*e, true
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for di, d := range c.Durations {
 		for ni, n := range c.Counts {
 			var sqSum float64
 			var probing time.Duration
-			for trial := 0; trial < c.Trials; trial++ {
-				s := sim.New()
-				link := s.NewLink("tight", c.Capacity, time.Millisecond)
-				path := sim.MustPath(link)
-				root := rng.New(c.Seed + uint64(di*1000+ni*100+trial))
-				spec := probe.PeriodicForDuration(c.ProbeRate, 1500, d)
-				horizon := time.Duration(n+2)*(2*spec.Duration()+20*time.Millisecond) + time.Second
-				crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate}, root.Split("cross")).
-					Run(s, path.Route(), 0, horizon)
-				tp := core.NewSimTransport(s, path)
-				tp.Spacing = 10 * time.Millisecond
-				t0 := tp.Now()
-				var samples []float64
-				for i := 0; i < n; i++ {
-					rec, err := tp.Probe(spec)
-					if err != nil {
-						return nil, fmt.Errorf("exp: latency-accuracy: %w", err)
-					}
-					ri, ro := rec.InputRate(), rec.OutputRate()
-					if ri <= 0 || ro <= 0 {
-						continue
-					}
-					a, err := fluid.DirectEstimate(c.Capacity, ri, ro)
-					if err != nil {
-						continue
-					}
-					samples = append(samples, a.MbpsOf())
+			base := (di*len(c.Counts) + ni) * c.Trials
+			for _, o := range outs[base : base+c.Trials] {
+				probing += o.probing
+				if o.ok {
+					sqSum += o.sq
 				}
-				probing += tp.Now() - t0
-				if len(samples) == 0 {
-					continue
-				}
-				e := (stats.Mean(samples) - trueA) / trueA
-				sqSum += e * e
 			}
 			res.Cells = append(res.Cells, LatencyAccuracyCell{
 				Duration:    d,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/stats"
 	"abw/internal/trace"
 )
@@ -78,6 +79,11 @@ type Figure1Result struct {
 // at three averaging timescales, on a bursty LRD trace. The paper's
 // claim: at τ = 1 ms the errors are large; at τ ≥ 10 ms they tighten —
 // pure sampling variability, with every sample individually exact.
+//
+// Each (tau, trial) cell is one runner job: the trace is shared
+// read-only, and every trial derives its own sampling stream from the
+// experiment seed and its indices, so the result is identical at every
+// worker count.
 func Figure1(cfg Figure1Config) (*Figure1Result, error) {
 	c := cfg.withDefaults()
 	root := rng.New(c.Seed)
@@ -87,22 +93,26 @@ func Figure1(cfg Figure1Config) (*Figure1Result, error) {
 	}
 	trueMean := float64(tr.Capacity-tr.MeanRate()) / 1e6
 	res := &Figure1Result{Config: c, TrueMeanMbps: trueMean}
-	sampler := root.Split("sampling")
-	for _, tau := range c.Taus {
-		errs := make([]float64, 0, c.Trials)
-		for trial := 0; trial < c.Trials; trial++ {
-			samples, err := tr.PoissonSample(tau, c.SamplesPerTrial, sampler)
-			if err != nil {
-				return nil, fmt.Errorf("exp: figure1: %w", err)
-			}
-			var mean float64
-			for _, s := range samples {
-				mean += s.MbpsOf()
-			}
-			mean /= float64(len(samples))
-			errs = append(errs, stats.RelativeError(mean, trueMean))
+	errs, err := runner.All(len(c.Taus)*c.Trials, func(job int) (float64, error) {
+		ti, trial := job/c.Trials, job%c.Trials
+		r := rng.Derive(c.Seed, fmt.Sprintf("fig1/sampling/tau%d/trial%d", ti, trial))
+		samples, err := tr.PoissonSample(c.Taus[ti], c.SamplesPerTrial, r)
+		if err != nil {
+			return 0, fmt.Errorf("exp: figure1: %w", err)
 		}
-		res.Series = append(res.Series, Figure1Series{Tau: tau, Errors: errs, CDF: stats.NewCDF(errs)})
+		var mean float64
+		for _, s := range samples {
+			mean += s.MbpsOf()
+		}
+		mean /= float64(len(samples))
+		return stats.RelativeError(mean, trueMean), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, tau := range c.Taus {
+		tauErrs := errs[ti*c.Trials : (ti+1)*c.Trials]
+		res.Series = append(res.Series, Figure1Series{Tau: tau, Errors: tauErrs, CDF: stats.NewCDF(tauErrs)})
 	}
 	return res, nil
 }

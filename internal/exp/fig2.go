@@ -9,6 +9,7 @@ import (
 	"abw/internal/fluid"
 	"abw/internal/probe"
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/sim"
 	"abw/internal/stats"
 	"abw/internal/unit"
@@ -78,10 +79,13 @@ type Figure2Result struct {
 // samples are collected and their standard deviation compared with the
 // population standard deviation of A_τ at τ = duration; the two curves
 // should coincide and decrease with τ.
+// Each duration is one runner job: it builds its own simulator and
+// derives its randomness from the seed and the duration index alone.
 func Figure2(cfg Figure2Config) (*Figure2Result, error) {
 	c := cfg.withDefaults()
 	res := &Figure2Result{Config: c}
-	for di, d := range c.Durations {
+	points, err := runner.All(len(c.Durations), func(di int) (Figure2Point, error) {
+		d := c.Durations[di]
 		s := sim.New()
 		link := s.NewLink("tight", c.Capacity, time.Millisecond)
 		rec := sim.NewRecorder(c.Capacity)
@@ -103,7 +107,7 @@ func Figure2(cfg Figure2Config) (*Figure2Result, error) {
 		for i := 0; i < c.Streams; i++ {
 			r, err := tp.Probe(spec)
 			if err != nil {
-				return nil, fmt.Errorf("exp: figure2: %w", err)
+				return Figure2Point{}, fmt.Errorf("exp: figure2: %w", err)
 			}
 			ri, ro := r.InputRate(), r.OutputRate()
 			if ri <= 0 || ro <= 0 {
@@ -131,12 +135,16 @@ func Figure2(cfg Figure2Config) (*Figure2Result, error) {
 			}
 			pop = append(pop, a.MbpsOf())
 		}
-		res.Points = append(res.Points, Figure2Point{
+		return Figure2Point{
 			Duration:     d,
 			SampleSD:     stats.StdDev(samples),
 			PopulationSD: stats.StdDev(pop),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }
 

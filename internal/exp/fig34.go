@@ -8,6 +8,7 @@ import (
 	"abw/internal/crosstraffic"
 	"abw/internal/probe"
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/sim"
 	"abw/internal/stats"
 	"abw/internal/unit"
@@ -94,33 +95,43 @@ type Figure3Result struct {
 // curve under CBR, Poisson and Pareto ON-OFF cross traffic at equal mean
 // avail-bw. The paper's claim: with bursty traffic the ratio dips below
 // 1 well before Ri reaches A, biasing estimators downward.
+// Each (model, rate) grid point is one runner job: it builds its own
+// simulator and seeds it from the experiment seed and its grid indices.
 func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 	c := cfg.withDefaults()
 	res := &Figure3Result{Config: c}
+	ratios, err := runner.All(len(c.Models)*len(c.Rates), func(job int) (float64, error) {
+		mi, riIdx := job/len(c.Rates), job%len(c.Rates)
+		model, ri := c.Models[mi], c.Rates[riIdx]
+		s := sim.New()
+		link := s.NewLink("tight", c.Capacity, time.Millisecond)
+		path := sim.MustPath(link)
+		root := rng.New(c.Seed + uint64(mi)*10000 + uint64(riIdx)*100)
+		spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
+		horizon := time.Duration(c.Streams+4) * (2*spec.Duration() + 100*time.Millisecond)
+		mkModel(model, c.CrossRate, root).Run(s, path.Route(), 0, horizon)
+		tp := core.NewSimTransport(s, path)
+		tp.Spacing = spec.Duration() + 20*time.Millisecond
+		var ratios []float64
+		for i := 0; i < c.Streams; i++ {
+			rec, err := tp.Probe(spec)
+			if err != nil {
+				return 0, fmt.Errorf("exp: figure3: %w", err)
+			}
+			if r := rec.Ratio(); r > 0 {
+				ratios = append(ratios, r)
+			}
+		}
+		return stats.Mean(ratios), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for mi, model := range c.Models {
 		series := RatioSeries{Model: model}
 		for riIdx, ri := range c.Rates {
-			s := sim.New()
-			link := s.NewLink("tight", c.Capacity, time.Millisecond)
-			path := sim.MustPath(link)
-			root := rng.New(c.Seed + uint64(mi)*10000 + uint64(riIdx)*100)
-			spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
-			horizon := time.Duration(c.Streams+4) * (2*spec.Duration() + 100*time.Millisecond)
-			mkModel(model, c.CrossRate, root).Run(s, path.Route(), 0, horizon)
-			tp := core.NewSimTransport(s, path)
-			tp.Spacing = spec.Duration() + 20*time.Millisecond
-			var ratios []float64
-			for i := 0; i < c.Streams; i++ {
-				rec, err := tp.Probe(spec)
-				if err != nil {
-					return nil, fmt.Errorf("exp: figure3: %w", err)
-				}
-				if r := rec.Ratio(); r > 0 {
-					ratios = append(ratios, r)
-				}
-			}
 			series.Rates = append(series.Rates, ri)
-			series.Ratios = append(series.Ratios, stats.Mean(ratios))
+			series.Ratios = append(series.Ratios, ratios[mi*len(c.Rates)+riIdx])
 		}
 		res.Series = append(res.Series, series)
 	}
@@ -222,39 +233,49 @@ type Figure4Result struct {
 // links carrying one-hop-persistent Poisson cross traffic, the Ro/Ri
 // ratio at Ri = A falls as the number of tight links grows — compounding
 // underestimation.
+// Each (path length, rate) grid point is one runner job, seeded from
+// the experiment seed and its grid indices.
 func Figure4(cfg Figure4Config) (*Figure4Result, error) {
 	c := cfg.withDefaults()
 	res := &Figure4Result{Config: c}
+	ratios, err := runner.All(len(c.TightLinks)*len(c.Rates), func(job int) (float64, error) {
+		hi, riIdx := job/len(c.Rates), job%len(c.Rates)
+		hops, ri := c.TightLinks[hi], c.Rates[riIdx]
+		s := sim.New()
+		links := make([]*sim.Link, hops)
+		for i := range links {
+			links[i] = s.NewLink(fmt.Sprintf("hop%d", i), c.Capacity, time.Millisecond)
+		}
+		path := sim.MustPath(links...)
+		root := rng.New(c.Seed + uint64(hi)*100000 + uint64(riIdx)*100)
+		spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
+		horizon := time.Duration(c.Streams+4) * (2*spec.Duration() + 100*time.Millisecond)
+		crosstraffic.OnePersistentPerHop(s, path, 0, horizon, func(hop int) crosstraffic.Model {
+			return crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate, Flow: hop},
+				root.Split(fmt.Sprintf("hop%d", hop)))
+		})
+		tp := core.NewSimTransport(s, path)
+		tp.Spacing = spec.Duration() + 20*time.Millisecond
+		var ratios []float64
+		for i := 0; i < c.Streams; i++ {
+			rec, err := tp.Probe(spec)
+			if err != nil {
+				return 0, fmt.Errorf("exp: figure4: %w", err)
+			}
+			if r := rec.Ratio(); r > 0 {
+				ratios = append(ratios, r)
+			}
+		}
+		return stats.Mean(ratios), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for hi, hops := range c.TightLinks {
 		series := Figure4Series{TightLinks: hops}
 		for riIdx, ri := range c.Rates {
-			s := sim.New()
-			links := make([]*sim.Link, hops)
-			for i := range links {
-				links[i] = s.NewLink(fmt.Sprintf("hop%d", i), c.Capacity, time.Millisecond)
-			}
-			path := sim.MustPath(links...)
-			root := rng.New(c.Seed + uint64(hi)*100000 + uint64(riIdx)*100)
-			spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
-			horizon := time.Duration(c.Streams+4) * (2*spec.Duration() + 100*time.Millisecond)
-			crosstraffic.OnePersistentPerHop(s, path, 0, horizon, func(hop int) crosstraffic.Model {
-				return crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate, Flow: hop},
-					root.Split(fmt.Sprintf("hop%d", hop)))
-			})
-			tp := core.NewSimTransport(s, path)
-			tp.Spacing = spec.Duration() + 20*time.Millisecond
-			var ratios []float64
-			for i := 0; i < c.Streams; i++ {
-				rec, err := tp.Probe(spec)
-				if err != nil {
-					return nil, fmt.Errorf("exp: figure4: %w", err)
-				}
-				if r := rec.Ratio(); r > 0 {
-					ratios = append(ratios, r)
-				}
-			}
 			series.Rates = append(series.Rates, ri)
-			series.Ratios = append(series.Ratios, stats.Mean(ratios))
+			series.Ratios = append(series.Ratios, ratios[hi*len(c.Rates)+riIdx])
 		}
 		res.Series = append(res.Series, series)
 	}

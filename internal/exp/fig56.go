@@ -7,6 +7,7 @@ import (
 	"abw/internal/crosstraffic"
 	"abw/internal/probe"
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/sim"
 	"abw/internal/stats"
 	"abw/internal/trace"
@@ -127,15 +128,19 @@ func Figure5(cfg Figure5Config) (*Figure5Result, error) {
 		}, nil
 	}
 
-	var err error
-	res.Above, err = run(c.AboveRate, false, "Ri > A")
+	// The two streams run in separate simulators, so they are two
+	// runner jobs (both fully deterministic: the baseline cross traffic
+	// is CBR and the burst is injected at fixed instants).
+	streams, err := runner.All(2, func(i int) (Figure5Stream, error) {
+		if i == 0 {
+			return run(c.AboveRate, false, "Ri > A")
+		}
+		return run(c.BelowRate, true, "Ri < A, late burst")
+	})
 	if err != nil {
 		return nil, fmt.Errorf("exp: figure5: %w", err)
 	}
-	res.Below, err = run(c.BelowRate, true, "Ri < A, late burst")
-	if err != nil {
-		return nil, fmt.Errorf("exp: figure5: %w", err)
-	}
+	res.Above, res.Below = streams[0], streams[1]
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"abw/internal/crosstraffic"
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/sim"
 	"abw/internal/tcp"
 	"abw/internal/unit"
@@ -120,29 +121,38 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 		Config:      c,
 		AvailBwMbps: (c.Capacity - c.CrossRate).MbpsOf(),
 	}
+	// Each (cross type, window) grid point is one runner job with its
+	// own simulator, seeded from the experiment seed and grid indices.
+	thru, err := runner.All(len(c.CrossTypes)*len(c.Windows), func(job int) (float64, error) {
+		ci, wi := job/len(c.Windows), job%len(c.Windows)
+		ct, wr := c.CrossTypes[ci], c.Windows[wi]
+		s := sim.New()
+		fwd := s.NewLink("bottleneck", c.Capacity, c.RTTProp/2)
+		fwd.BufferBytes = unit.Bytes(c.BufferPkts) * 1500
+		rev := s.NewLink("reverse", unit.Gbps, c.RTTProp/2)
+		root := rng.New(c.Seed + uint64(ci)*100000 + uint64(wi)*100)
+		fwdRoute := []*sim.Link{fwd}
+		revRoute := []*sim.Link{rev}
+		if err := startFig7Cross(s, ct, c, fwdRoute, revRoute, root); err != nil {
+			return 0, fmt.Errorf("exp: figure7: %w", err)
+		}
+		bulk, err := tcp.New(s, fwdRoute, revRoute, 1, tcp.Config{RcvWnd: wr})
+		if err != nil {
+			return 0, fmt.Errorf("exp: figure7: %w", err)
+		}
+		bulk.Start(time.Second)
+		s.RunUntil(c.Duration)
+		warmup := c.Duration / 4
+		return bulk.Throughput(warmup, c.Duration).MbpsOf(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for ci, ct := range c.CrossTypes {
 		series := Figure7Series{CrossType: ct}
 		for wi, wr := range c.Windows {
-			s := sim.New()
-			fwd := s.NewLink("bottleneck", c.Capacity, c.RTTProp/2)
-			fwd.BufferBytes = unit.Bytes(c.BufferPkts) * 1500
-			rev := s.NewLink("reverse", unit.Gbps, c.RTTProp/2)
-			root := rng.New(c.Seed + uint64(ci)*100000 + uint64(wi)*100)
-			fwdRoute := []*sim.Link{fwd}
-			revRoute := []*sim.Link{rev}
-			if err := startFig7Cross(s, ct, c, fwdRoute, revRoute, root); err != nil {
-				return nil, fmt.Errorf("exp: figure7: %w", err)
-			}
-			bulk, err := tcp.New(s, fwdRoute, revRoute, 1, tcp.Config{RcvWnd: wr})
-			if err != nil {
-				return nil, fmt.Errorf("exp: figure7: %w", err)
-			}
-			bulk.Start(time.Second)
-			s.RunUntil(c.Duration)
-			warmup := c.Duration / 4
 			series.Windows = append(series.Windows, wr)
-			series.ThroughputMbps = append(series.ThroughputMbps,
-				bulk.Throughput(warmup, c.Duration).MbpsOf())
+			series.ThroughputMbps = append(series.ThroughputMbps, thru[ci*len(c.Windows)+wi])
 		}
 		res.Series = append(res.Series, series)
 	}
@@ -190,8 +200,8 @@ func (r *Figure7Result) Table() *Table {
 		Title:  fmt.Sprintf("Figure 7: bulk TCP throughput vs receiver window (avail-bw = %.0f Mbps)", r.AvailBwMbps),
 		Header: []string{"Wr (pkts)"},
 		Notes: []string{
-			"paper: the difference between TCP throughput and avail-bw can be positive or negative,",
-			"depending on Wr and on the congestion responsiveness of the cross traffic",
+			"paper: the difference between TCP throughput and avail-bw can be positive or negative, " +
+				"depending on Wr and on the congestion responsiveness of the cross traffic",
 		},
 	}
 	for _, s := range r.Series {

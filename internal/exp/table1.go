@@ -10,6 +10,7 @@ import (
 	"abw/internal/fluid"
 	"abw/internal/probe"
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/sim"
 	"abw/internal/unit"
 )
@@ -93,8 +94,11 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 			maxK = k
 		}
 	}
-	for li, lc := range c.CrossSizes {
-		// One long-lived scenario per cross size: all trials sample it.
+	// One long-lived scenario per cross size: all trials sample it, so
+	// the trials of one cross size are inherently serial — the runner
+	// job is the whole cross-size column, seeded by its index.
+	cells, err := runner.All(len(c.CrossSizes), func(li int) ([]Table1Cell, error) {
+		lc := c.CrossSizes[li]
 		s := sim.New()
 		link := s.NewLink("tight", c.Capacity, time.Millisecond)
 		path := sim.MustPath(link)
@@ -144,13 +148,21 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 				errCounts[k]++
 			}
 		}
+		col := make([]Table1Cell, 0, len(c.SampleKs))
 		for _, k := range c.SampleKs {
-			res.Cells = append(res.Cells, Table1Cell{
+			col = append(col, Table1Cell{
 				CrossSize: lc,
 				K:         k,
 				AbsError:  errSums[k] / float64(errCounts[k]),
 			})
 		}
+		return col, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, col := range cells {
+		res.Cells = append(res.Cells, col...)
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"abw/internal/rng"
+	"abw/internal/runner"
 	"abw/internal/stats"
 	"abw/internal/trace"
 )
@@ -70,17 +71,20 @@ type VarTimeResult struct {
 // synthetic traces with controlled correlation structure, exhibiting
 // both decay laws of the paper's Equations (4) and (5): the IID 1/k law
 // at H = 0.5 and the slower k^{−2(1−H)} law under long-range dependence.
+// Each Hurst parameter synthesizes and analyzes its own trace, so it is
+// one runner job.
 func VarianceTimescale(cfg VarTimeConfig) (*VarTimeResult, error) {
 	c := cfg.withDefaults()
 	res := &VarTimeResult{Config: c}
-	for _, h := range c.Hursts {
+	out, err := runner.All(len(c.Hursts), func(hi int) (VarTimeSeries, error) {
+		h := c.Hursts[hi]
 		tr, err := trace.SynthesizeFGN(trace.FGNConfig{
 			Span:   c.TraceSpan,
 			Hurst:  h,
 			Window: c.BaseTau,
 		}, rng.New(c.Seed))
 		if err != nil {
-			return nil, fmt.Errorf("exp: vartime: %w", err)
+			return VarTimeSeries{}, fmt.Errorf("exp: vartime: %w", err)
 		}
 		base := make([]float64, 0)
 		for at := time.Duration(0); at+c.BaseTau <= tr.Span; at += c.BaseTau {
@@ -113,8 +117,12 @@ func VarianceTimescale(cfg VarTimeConfig) (*VarTimeResult, error) {
 				series.EstimatedHurst = hEst
 			}
 		}
-		res.Series = append(res.Series, series)
+		return series, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Series = out
 	return res, nil
 }
 

@@ -49,16 +49,34 @@ func New(seed uint64) *Rand {
 	return r
 }
 
-// Split derives an independent generator from r, keyed by label so that
-// sub-stream assignment is stable and readable at call sites. Distinct
-// labels yield distinct streams; the parent stream advances by one draw.
-func (r *Rand) Split(label string) *Rand {
+// fnv64 hashes a label with FNV-64a; Split and Derive share it so the
+// two derivation schemes can never diverge on label handling.
+func fnv64(label string) uint64 {
 	h := uint64(14695981039346656037) // FNV-64 offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	return New(r.Uint64() ^ h)
+	return h
+}
+
+// Split derives an independent generator from r, keyed by label so that
+// sub-stream assignment is stable and readable at call sites. Distinct
+// labels yield distinct streams; the parent stream advances by one draw.
+func (r *Rand) Split(label string) *Rand {
+	return New(r.Uint64() ^ fnv64(label))
+}
+
+// Derive returns the generator for one named trial stream as a pure
+// function of (seed, label): no generator state is read or advanced, so
+// concurrent trials can each derive their own stream without sharing a
+// parent. It is the parallel-safe counterpart of Split — runner jobs
+// use labels like "fig1/tau0/trial17" built from the experiment seed
+// and the trial index, which is what makes the experiments bit-identical
+// at every worker count.
+func Derive(seed uint64, label string) *Rand {
+	st := seed
+	return New(splitmix64(&st) ^ fnv64(label))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,201 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abw/internal/rng"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		got, err := Map(context.Background(), &Pool{Workers: workers}, 20,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The determinism contract: jobs deriving their randomness from
+	// (seed, index) alone produce identical results at every worker
+	// count.
+	draw := func(i int) (float64, error) {
+		r := rng.Derive(42, fmt.Sprintf("trial%d", i))
+		return r.Exp(1) + r.Pareto(1.5, 1), nil
+	}
+	serial, err := Map(context.Background(), &Pool{Workers: 1}, 64,
+		func(_ context.Context, i int) (float64, error) { return draw(i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := Map(context.Background(), &Pool{Workers: workers}, 64,
+			func(_ context.Context, i int) (float64, error) { return draw(i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: results differ from serial run", workers)
+		}
+	}
+}
+
+func TestMapPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	res, err := Map(context.Background(), &Pool{Workers: 4}, 100,
+		func(ctx context.Context, i int) (int, error) {
+			ran.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			// Give the canceled context a chance to stop later jobs.
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if res != nil {
+		t.Fatalf("results should be nil on error, got %d values", len(res))
+	}
+	if n := ran.Load(); n == 100 {
+		t.Error("error did not stop the queue: all 100 jobs ran")
+	}
+}
+
+func TestMapHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		<-done
+		cancel()
+	}()
+	_, err := Map(ctx, &Pool{Workers: 2}, 1000,
+		func(ctx context.Context, i int) (int, error) {
+			if started.Add(1) == 2 {
+				close(done)
+			}
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+				return i, nil
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("cancellation did not stop the queue")
+	}
+}
+
+func TestMapProgressReachesTotal(t *testing.T) {
+	var calls []int
+	p := &Pool{Workers: 4, OnProgress: func(done, total int) {
+		if total != 30 {
+			t.Errorf("total = %d, want 30", total)
+		}
+		calls = append(calls, done) // serialized by the pool
+	}}
+	if _, err := Map(context.Background(), p, 30,
+		func(_ context.Context, i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 30 {
+		t.Fatalf("progress calls = %d, want 30", len(calls))
+	}
+	seen := make(map[int]bool)
+	for _, d := range calls {
+		if d < 1 || d > 30 || seen[d] {
+			t.Fatalf("bad progress sequence: %v", calls)
+		}
+		seen[d] = true
+	}
+}
+
+func TestMapZeroAndNil(t *testing.T) {
+	if res, err := Map[int](context.Background(), nil, 0, nil); err != nil || res != nil {
+		t.Fatalf("n=0: res=%v err=%v", res, err)
+	}
+	res, err := Map(context.Background(), nil, 3,
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(res) != 3 {
+		t.Fatalf("nil pool: res=%v err=%v", res, err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if w := Workers(); w != 3 {
+		t.Fatalf("Workers() = %d, want 3", w)
+	}
+	SetWorkers(0)
+	if w := Workers(); w < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", w)
+	}
+	SetWorkers(-5)
+	if w := Workers(); w < 1 {
+		t.Fatalf("Workers() after negative set = %d, want >= 1", w)
+	}
+}
+
+func TestAllUsesDefaultPool(t *testing.T) {
+	res, err := All(5, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"0", "1", "2", "3", "4"}; !reflect.DeepEqual(res, want) {
+		t.Fatalf("All = %v, want %v", res, want)
+	}
+	if _, err := All(2, func(i int) (int, error) { return 0, errors.New("nope") }); err == nil {
+		t.Fatal("All swallowed the error")
+	}
+}
+
+func TestSetProgressObservesDefaultPool(t *testing.T) {
+	defer SetProgress(nil)
+	var last atomic.Int64
+	var calls atomic.Int64
+	SetProgress(func(done, total int) {
+		if total != 7 {
+			t.Errorf("total = %d, want 7", total)
+		}
+		if int64(done) <= last.Load() {
+			t.Errorf("done counter not strictly increasing: %d after %d", done, last.Load())
+		}
+		last.Store(int64(done))
+		calls.Add(1)
+	})
+	if _, err := All(7, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 7 {
+		t.Fatalf("progress calls = %d, want 7", calls.Load())
+	}
+	SetProgress(nil)
+	if _, err := All(3, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 7 {
+		t.Fatal("SetProgress(nil) did not remove the callback")
+	}
+}

@@ -1,8 +1,8 @@
-// Benchmarks regenerating every table and figure of the paper, plus
-// ablations of the design choices DESIGN.md calls out. Each benchmark
-// runs a reduced-size configuration of the corresponding experiment so a
-// full -bench=. pass stays in the minutes range; cmd/abwsim runs the
-// paper-scale versions. Custom metrics attach the scientifically
+// Benchmarks regenerating every table and figure of the paper. Each
+// benchmark runs a reduced-size configuration of the corresponding
+// experiment so a full -bench=. pass stays in the minutes range;
+// cmd/abwsim runs the paper-scale versions, and the per-tool ablation
+// benchmarks live with their tools (internal/tools/*/ablation_bench_test.go). Custom metrics attach the scientifically
 // relevant quantity of each experiment (error, ratio, Mbps) to the
 // benchmark output, so a bench run doubles as a regression record of the
 // reproduced shapes.
@@ -14,14 +14,8 @@ import (
 	"testing"
 	"time"
 
-	"abw/internal/core"
 	"abw/internal/exp"
-	"abw/internal/rng"
 	"abw/internal/runner"
-	"abw/internal/stats"
-	"abw/internal/tools/delphi"
-	"abw/internal/tools/pathload"
-	"abw/internal/tools/spruce"
 	"abw/internal/tools/toolstest"
 	"abw/internal/unit"
 )
@@ -220,87 +214,6 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 }
 
-// --- Ablations ---
-
-// BenchmarkAblationPairsVsTrains contrasts 2-packet and 100-packet
-// direct probing at an equal packet budget: the quantitative content of
-// fallacy 4 at the estimator level.
-func BenchmarkAblationPairsVsTrains(b *testing.B) {
-	run := func(b *testing.B, trainLen, trains int, metric string) {
-		b.Helper()
-		for i := 0; i < b.N; i++ {
-			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
-			est, err := delphi.New(delphi.Config{
-				Capacity: sc.Capacity, ProbeRate: 40 * unit.Mbps,
-				TrainLen: trainLen, Trains: trains,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			rep, err := est.Estimate(sc.Transport)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportMetric(stats.RelativeError(rep.Point.MbpsOf(), 25), metric)
-		}
-	}
-	b.Run("pairs-2x500", func(b *testing.B) { run(b, 2, 500, "eps") })
-	b.Run("trains-100x10", func(b *testing.B) { run(b, 100, 10, "eps") })
-}
-
-// BenchmarkAblationTrendThresholds contrasts Pathload with default and
-// aggressive PCT/PDT thresholds, exercising the trend-analysis knob.
-func BenchmarkAblationTrendThresholds(b *testing.B) {
-	run := func(b *testing.B, cfg stats.TrendConfig) {
-		b.Helper()
-		for i := 0; i < b.N; i++ {
-			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
-			est, err := pathload.New(pathload.Config{
-				MinRate: 2 * unit.Mbps, MaxRate: 48 * unit.Mbps,
-				StreamsPerRate: 3, Trend: cfg,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			rep, err := est.Estimate(sc.Transport)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportMetric(rep.Point.MbpsOf(), "estimate-mbps")
-		}
-	}
-	b.Run("default", func(b *testing.B) { run(b, stats.TrendConfig{}) })
-	b.Run("aggressive", func(b *testing.B) {
-		run(b, stats.TrendConfig{PCTIncrease: 0.55, PDTIncrease: 0.4, PCTNoIncrease: 0.45, PDTNoIncrease: 0.3})
-	})
-}
-
-// BenchmarkAblationSpruceSpacing contrasts Spruce's Poisson inter-pair
-// spacing with dense back-to-back pairs: sparse sampling trades latency
-// for independence of the samples.
-func BenchmarkAblationSpruceSpacing(b *testing.B) {
-	run := func(b *testing.B, spacing time.Duration) {
-		b.Helper()
-		for i := 0; i < b.N; i++ {
-			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
-			est, err := spruce.New(spruce.Config{
-				Capacity: sc.Capacity, Pairs: 100,
-				MeanSpacing: spacing, Rand: rng.New(uint64(i + 1)),
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			rep, err := est.Estimate(sc.Transport)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportMetric(stats.RelativeError(rep.Point.MbpsOf(), 25), "eps")
-		}
-	}
-	b.Run("poisson-20ms", func(b *testing.B) { run(b, 20*time.Millisecond) })
-	b.Run("dense-1ms", func(b *testing.B) { run(b, time.Millisecond) })
-}
-
 // BenchmarkSimulatorThroughput measures raw simulator event throughput:
 // the cost driver behind every experiment above.
 func BenchmarkSimulatorThroughput(b *testing.B) {
@@ -317,5 +230,3 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 }
-
-var _ core.Estimator = (*pathload.Estimator)(nil) // keep imports honest

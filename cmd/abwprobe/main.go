@@ -1,6 +1,7 @@
 // Command abwprobe runs avail-bw estimation over real UDP sockets: a
 // receiver on one end of the path, a sender with a choice of estimation
-// technique on the other.
+// technique on the other. Tools come from the estimator registry; run
+// with -tools for the catalog and each tool's requirements.
 //
 // Receiver:
 //
@@ -10,65 +11,139 @@
 //
 //	abwprobe -mode send -to host:9876 -tool pathload -min 1 -max 900
 //
-// Tools: pathload, pathchirp, topp, ptr (no capacity needed);
-// delphi, spruce, igi (require -capacity, the tight-link capacity in
-// Mbps — mind the paper's pitfall about measuring it with capacity
-// tools, which report the narrow link).
+// Direct-probing tools need -capacity, the tight-link capacity in Mbps
+// — mind the paper's pitfall about measuring it with capacity tools,
+// which report the narrow link.
+//
+// Exit codes: 0 on success, 1 when the estimation itself fails, 2 on
+// usage errors (unknown tool, missing required flag).
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/livenet"
-	"abw/internal/rng"
-	"abw/internal/tools/delphi"
-	"abw/internal/tools/igi"
-	"abw/internal/tools/pathchirp"
-	"abw/internal/tools/pathload"
-	"abw/internal/tools/spruce"
-	"abw/internal/tools/topp"
-	"abw/internal/unit"
+	"abw"
+)
+
+const (
+	exitOK    = 0
+	exitEstim = 1
+	exitUsage = 2
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "", "recv or send")
-		listen  = flag.String("listen", "0.0.0.0:9876", "receiver control address")
-		to      = flag.String("to", "", "receiver address to probe toward")
-		tool    = flag.String("tool", "pathload", "estimation technique")
-		minMbps = flag.Float64("min", 1, "minimum probing rate (Mbps)")
-		maxMbps = flag.Float64("max", 500, "maximum probing rate (Mbps)")
-		capMbps = flag.Float64("capacity", 0, "tight-link capacity (Mbps), for direct-probing tools")
-		seed    = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+		mode     = flag.String("mode", "", "recv or send")
+		listen   = flag.String("listen", "0.0.0.0:9876", "receiver control address")
+		to       = flag.String("to", "", "receiver address to probe toward")
+		tool     = flag.String("tool", "pathload", "estimation technique (see -tools)")
+		tools    = flag.Bool("tools", false, "list the registered tools and exit")
+		minMbps  = flag.Float64("min", 1, "minimum probing rate (Mbps)")
+		maxMbps  = flag.Float64("max", 500, "maximum probing rate (Mbps)")
+		capMbps  = flag.Float64("capacity", 0, "tight-link capacity (Mbps), for direct-probing tools")
+		pktSize  = flag.Int("pktsize", 0, "probe packet size in bytes (0 = tool default)")
+		length   = flag.Int("len", 0, "packets per probing stream (0 = tool default)")
+		repeat   = flag.Int("repeat", 0, "streams per rate / trains / chirps / pairs (0 = tool default)")
+		rounds   = flag.Int("rounds", 0, "max probing-rate search rounds (0 = tool default)")
+		budgetS  = flag.Int("max-streams", 0, "probing budget: max streams (0 = unlimited)")
+		budgetP  = flag.Int("max-packets", 0, "probing budget: max packets (0 = unlimited)")
+		budgetD  = flag.Duration("max-duration", 0, "probing budget: max estimation time (0 = unlimited)")
+		jsonOut  = flag.Bool("json", false, "print the report as JSON on stdout")
+		progress = flag.Bool("progress", false, "print per-stream progress to stderr")
+		seed     = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
 	)
 	flag.Parse()
+	if *tools {
+		printTools()
+		return
+	}
 	switch *mode {
 	case "recv":
 		recv(*listen)
 	case "send":
 		if *to == "" {
-			fatal("send mode needs -to host:port")
+			usageErr("send mode needs -to host:port")
 		}
-		send(*to, *tool, *minMbps, *maxMbps, *capMbps, *seed)
+		if *minMbps <= 0 || *maxMbps <= *minMbps {
+			usageErr("need 0 < -min < -max (got %g, %g)", *minMbps, *maxMbps)
+		}
+		params := abw.Params{
+			RateLo:    abw.Rate(*minMbps * 1e6),
+			RateHi:    abw.Rate(*maxMbps * 1e6),
+			Capacity:  abw.Rate(*capMbps * 1e6),
+			PktSize:   abw.Bytes(*pktSize),
+			StreamLen: *length,
+			Repeat:    *repeat,
+			MaxRounds: *rounds,
+			Rand:      abw.NewRand(*seed),
+			Budget: abw.Budget{
+				MaxStreams:  *budgetS,
+				MaxPackets:  *budgetP,
+				MaxDuration: *budgetD,
+			},
+		}
+		send(*to, *tool, params, *jsonOut, *progress)
 	default:
-		fatal("pick -mode recv or -mode send")
+		usageErr("pick -mode recv or -mode send")
 	}
 }
 
-func fatal(format string, args ...any) {
+func usageErr(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "abwprobe: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(exitUsage)
+}
+
+func printTools() {
+	fmt.Println("Registered estimation techniques:")
+	for _, d := range abw.Tools() {
+		fmt.Printf("  %-10s %s\n", d.Name, d.Summary)
+		if reqs := flagRequirements(d); reqs != "" {
+			fmt.Printf("  %-10s requires %s\n", "", reqs)
+		}
+	}
+}
+
+// flagRequirements renders a descriptor's needs in terms of this CLI's
+// flags: the registry knows what a tool requires; only the flag
+// spelling lives here.
+func flagRequirements(d abw.Tool) string {
+	var reqs []string
+	if d.NeedsCapacity {
+		reqs = append(reqs, flagFor("Capacity"))
+	}
+	if d.SimOnly {
+		reqs = append(reqs, "a simulated path (not available over live sockets)")
+	}
+	return strings.Join(reqs, ", ")
+}
+
+// flagFor maps a registry Params field name onto this CLI's flag
+// spelling, for requirement errors.
+func flagFor(field string) string {
+	switch field {
+	case "Capacity":
+		return "-capacity (tight-link capacity, Mbps)"
+	case "RateLo/RateHi":
+		return "-min/-max (probing-rate bracket, Mbps)"
+	case "Rand":
+		return "-seed"
+	}
+	return field
 }
 
 func recv(listen string) {
-	r, err := livenet.ListenReceiver(listen)
+	r, err := abw.ListenReceiver(listen)
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(os.Stderr, "abwprobe: %v\n", err)
+		os.Exit(exitEstim)
 	}
 	defer r.Close()
 	fmt.Printf("abwprobe: receiving on %s (ctrl+c to stop)\n", r.Addr())
@@ -77,23 +152,70 @@ func recv(listen string) {
 	<-ch
 }
 
-func send(to, tool string, minMbps, maxMbps, capMbps float64, seed uint64) {
-	tr, err := livenet.Dial(to)
+func send(to, tool string, params abw.Params, jsonOut, progress bool) {
+	// Usage errors — unknown tool, a requirement the flags did not
+	// satisfy — exit 2 before any packet is sent. The requirement list
+	// comes from the tool's registry descriptor, not from hand-written
+	// per-tool checks.
+	d, ok := abw.LookupTool(tool)
+	if !ok {
+		var names []string
+		for _, n := range abw.Tools() {
+			if !n.SimOnly { // suggest only tools the live CLI can run
+				names = append(names, n.Name)
+			}
+		}
+		usageErr("unknown tool %q (try %s)", tool, strings.Join(names, ", "))
+	}
+	if d.SimOnly {
+		usageErr("%s requires %s", d.Name, flagRequirements(d))
+	}
+	if missing := d.MissingParams(params); len(missing) > 0 {
+		flags := make([]string, len(missing))
+		for i, m := range missing {
+			flags[i] = flagFor(m)
+		}
+		usageErr("%s needs %s", d.Name, strings.Join(flags, ", "))
+	}
+	if progress {
+		params.Observer = func(ev abw.StreamEvent) {
+			fmt.Fprintf(os.Stderr, "  stream %d: %d pkts (%d lost) at %v\n",
+				ev.Stream, ev.Packets, ev.Lost, ev.At.Round(time.Millisecond))
+		}
+	}
+
+	tr, err := abw.DialReceiver(to)
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(os.Stderr, "abwprobe: %v\n", err)
+		os.Exit(exitEstim)
 	}
 	defer tr.Close()
-	min := unit.Rate(minMbps * 1e6)
-	max := unit.Rate(maxMbps * 1e6)
-	capacity := unit.Rate(capMbps * 1e6)
-	est, err := buildTool(tool, min, max, capacity, seed)
-	if err != nil {
-		fatal("%v", err)
+
+	// Ctrl+C cancels the context; the estimator stops at the next
+	// stream boundary and the run reports the cancellation. The
+	// handler deregisters on first cancellation so a second Ctrl+C
+	// force-quits a probe stuck inside a stream.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	if !jsonOut {
+		fmt.Printf("abwprobe: running %s toward %s\n", d.Name, to)
 	}
-	fmt.Printf("abwprobe: running %s toward %s\n", est.Name(), to)
-	rep, err := est.Estimate(tr)
+	rep, err := abw.Estimate(ctx, d.Name, params, tr)
 	if err != nil {
-		fatal("%v", err)
+		if jsonOut {
+			printJSON(d.Name, rep, err)
+		}
+		fmt.Fprintf(os.Stderr, "abwprobe: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "abwprobe: interrupted at a stream boundary")
+		}
+		os.Exit(exitEstim)
+	}
+	if jsonOut {
+		printJSON(d.Name, rep, nil)
+		return
 	}
 	fmt.Println(rep)
 	fmt.Printf("  overhead: %d probe bytes\n", rep.ProbeBytes)
@@ -103,32 +225,12 @@ func send(to, tool string, minMbps, maxMbps, capMbps float64, seed uint64) {
 	}
 }
 
-func buildTool(name string, min, max, capacity unit.Rate, seed uint64) (core.Estimator, error) {
-	switch name {
-	case "pathload":
-		return pathload.New(pathload.Config{MinRate: min, MaxRate: max})
-	case "pathchirp":
-		return pathchirp.New(pathchirp.Config{Lo: min, Hi: max})
-	case "topp":
-		return topp.New(topp.Config{MinRate: min, MaxRate: max})
-	case "ptr":
-		return igi.New(igi.Config{InitRate: max})
-	case "igi":
-		if capacity <= 0 {
-			return nil, fmt.Errorf("igi needs -capacity (direct probing)")
-		}
-		return igi.New(igi.Config{Mode: igi.IGI, Capacity: capacity})
-	case "delphi":
-		if capacity <= 0 {
-			return nil, fmt.Errorf("delphi needs -capacity (direct probing)")
-		}
-		return delphi.New(delphi.Config{Capacity: capacity})
-	case "spruce":
-		if capacity <= 0 {
-			return nil, fmt.Errorf("spruce needs -capacity (direct probing)")
-		}
-		return spruce.New(spruce.Config{Capacity: capacity, Rand: rng.New(seed)})
-	default:
-		return nil, fmt.Errorf("unknown tool %q (try pathload, pathchirp, topp, ptr, igi, delphi, spruce)", name)
+// printJSON marshals the run's outcome — report or error — in the one
+// shared JSON shape (core.Outcome).
+func printJSON(tool string, rep *abw.Report, err error) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if encErr := enc.Encode(abw.NewOutcome(tool, rep, err)); encErr != nil {
+		fmt.Fprintf(os.Stderr, "abwprobe: encoding report: %v\n", encErr)
 	}
 }

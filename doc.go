@@ -7,6 +7,17 @@
 // experiment per table and figure in the paper, all running their
 // trials on a parallel, deterministic trial engine (internal/runner).
 //
+// This package is also the public facade: estimation techniques are
+// named in a registry and run with
+//
+//	report, err := abw.Estimate(ctx, "pathload", abw.Params{...}, transport)
+//
+// where the transport is a simulated path (NewScenario) or live UDP
+// sockets (ListenReceiver/DialReceiver). Runs honor ctx cancellation at
+// stream boundaries, accept a uniform probing Budget enforced below
+// every tool, and report per-stream progress through an Observer.
+// abw.Tools() lists the registered techniques and their requirements.
+//
 // Entry points:
 //
 //   - cmd/abwsim regenerates every table and figure;
@@ -14,7 +25,7 @@
 //   - cmd/abwtrace synthesizes and analyzes traces;
 //   - examples/ holds runnable walkthroughs of the public API;
 //   - bench_test.go in this directory carries one benchmark per
-//     table/figure plus ablations of the design choices.
+//     table/figure.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.

@@ -6,58 +6,48 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/crosstraffic"
-	"abw/internal/rng"
-	"abw/internal/sim"
-	"abw/internal/tools/delphi"
-	"abw/internal/unit"
+	"abw"
 )
 
 const (
-	capacity  = 50 * unit.Mbps
-	crossRate = 25 * unit.Mbps
+	capacity  = 50 * abw.Mbps
+	crossRate = 25 * abw.Mbps
 )
 
-func transportFor(model string) *core.SimTransport {
-	s := sim.New()
-	link := s.NewLink("tight", capacity, time.Millisecond)
-	path := sim.MustPath(link)
-	cfg := crosstraffic.Stream{Rate: crossRate}
-	r := rng.New(3)
-	var m crosstraffic.Model
-	switch model {
-	case "CBR":
-		m = crosstraffic.CBR(cfg)
-	case "Poisson":
-		m = crosstraffic.Poisson(cfg, r)
-	case "Pareto ON-OFF":
-		m = crosstraffic.ParetoOnOff(crosstraffic.ParetoOnOffConfig{Stream: cfg, OffCap: 200}, r)
-	}
-	m.Run(s, path.Route(), 0, 5*time.Minute)
-	return core.NewSimTransport(s, path)
-}
-
 func main() {
-	fmt.Println("Delphi (direct probing, 20 trains at 40 Mbps) against three cross-traffic")
+	models := []struct {
+		name  string
+		model abw.Traffic
+	}{
+		{"CBR", abw.CBR},
+		{"Poisson", abw.Poisson},
+		{"Pareto ON-OFF", abw.ParetoOnOff},
+	}
+	fmt.Println("Delphi (direct probing, 20 trains) against three cross-traffic")
 	fmt.Println("models with the SAME mean avail-bw of 25 Mbps:")
 	fmt.Println()
 	fmt.Printf("%-15s %-12s %-20s\n", "cross traffic", "estimate", "sample range (Mbps)")
-	for _, model := range []string{"CBR", "Poisson", "Pareto ON-OFF"} {
-		est, err := delphi.New(delphi.Config{Capacity: capacity, ProbeRate: 40 * unit.Mbps})
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := est.Estimate(transportFor(model))
+	for _, m := range models {
+		sc := abw.NewScenario(abw.ScenarioOptions{
+			Capacity:  capacity,
+			CrossRate: crossRate,
+			Model:     m.model,
+			Horizon:   5 * time.Minute,
+			Seed:      3,
+		})
+		rep, err := abw.Estimate(context.Background(), "delphi", abw.Params{
+			Capacity: sc.Capacity,
+		}, sc.Transport)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-15s %-12.2f [%.1f, %.1f]\n",
-			model, rep.Point.MbpsOf(), rep.Low.MbpsOf(), rep.High.MbpsOf())
+			m.name, rep.Point.MbpsOf(), rep.Low.MbpsOf(), rep.High.MbpsOf())
 	}
 	fmt.Println()
 	fmt.Println("queues build before 100% utilization, so burstier traffic compresses the")

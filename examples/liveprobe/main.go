@@ -1,46 +1,48 @@
 // Liveprobe: run Pathload over real UDP sockets on loopback — the same
 // estimator code that runs on the simulator, now against the kernel's
-// network stack.
+// network stack, with per-stream progress from the observer hook.
 //
 //	go run ./examples/liveprobe
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"abw/internal/livenet"
-	"abw/internal/tools/pathload"
-	"abw/internal/unit"
+	"abw"
 )
 
 func main() {
-	recv, err := livenet.ListenReceiver("127.0.0.1:0")
+	recv, err := abw.ListenReceiver("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer recv.Close()
 	fmt.Printf("receiver on %s\n", recv.Addr())
 
-	tr, err := livenet.Dial(recv.Addr())
+	tr, err := abw.DialReceiver(recv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer tr.Close()
 
 	// Loopback is fast; bracket the search accordingly and keep the
-	// fleet small so the example finishes in seconds.
-	est, err := pathload.New(pathload.Config{
-		MinRate:        50 * unit.Mbps,
-		MaxRate:        4 * unit.Gbps,
-		StreamLen:      50,
-		StreamsPerRate: 2,
-		MaxRounds:      8,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	rep, err := est.Estimate(tr)
+	// fleet small so the example finishes in seconds. The observer
+	// prints each resolved stream — the hook a long-running service
+	// would wire to metrics.
+	rep, err := abw.Estimate(context.Background(), "pathload", abw.Params{
+		RateLo:    50 * abw.Mbps,
+		RateHi:    4 * abw.Gbps,
+		StreamLen: 50,
+		Repeat:    2,
+		MaxRounds: 8,
+		Observer: func(ev abw.StreamEvent) {
+			fmt.Printf("  stream %d: %d pkts (%d lost) at %v\n",
+				ev.Stream, ev.Packets, ev.Lost, ev.At.Round(time.Millisecond))
+		},
+	}, tr)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,49 +1,43 @@
 // Quickstart: build a simulated path with known avail-bw, run Pathload
-// over it, and print the estimated variation range.
+// over it through the public abw facade, and print the estimated
+// variation range.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/crosstraffic"
-	"abw/internal/rng"
-	"abw/internal/sim"
-	"abw/internal/tools/pathload"
-	"abw/internal/unit"
+	"abw"
 )
 
 func main() {
 	// A single 50 Mbps tight link carrying 25 Mbps of Poisson cross
 	// traffic: the true avail-bw is 25 Mbps.
-	s := sim.New()
-	link := s.NewLink("tight", 50*unit.Mbps, time.Millisecond)
-	path := sim.MustPath(link)
-	crosstraffic.Poisson(crosstraffic.Stream{Rate: 25 * unit.Mbps}, rng.New(42)).
-		Run(s, path.Route(), 0, 2*time.Minute)
+	sc := abw.NewScenario(abw.ScenarioOptions{
+		Capacity:  50 * abw.Mbps,
+		CrossRate: 25 * abw.Mbps,
+		Model:     abw.Poisson,
+		Horizon:   2 * time.Minute,
+		Seed:      42,
+	})
 
 	// The transport hides whether the path is simulated or real; every
-	// estimator in internal/tools runs over it unchanged.
-	transport := core.NewSimTransport(s, path)
-
-	est, err := pathload.New(pathload.Config{
-		MinRate: 1 * unit.Mbps,
-		MaxRate: 49 * unit.Mbps,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	report, err := est.Estimate(transport)
+	// registered estimator runs over it unchanged, named by the tool
+	// registry.
+	report, err := abw.Estimate(context.Background(), "pathload", abw.Params{
+		RateLo: 1 * abw.Mbps,
+		RateHi: 49 * abw.Mbps,
+	}, sc.Transport)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(report)
-	fmt.Printf("true avail-bw: 25 Mbps; estimated range [%.1f, %.1f] Mbps\n",
-		report.Low.MbpsOf(), report.High.MbpsOf())
+	fmt.Printf("true avail-bw: %.0f Mbps; estimated range [%.1f, %.1f] Mbps\n",
+		sc.TrueAvailBw.MbpsOf(), report.Low.MbpsOf(), report.High.MbpsOf())
 	fmt.Println("(the range is the avail-bw variation at the probing timescale —")
 	fmt.Println(" not a confidence interval; see misconception #9 in the paper)")
 }

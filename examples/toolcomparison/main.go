@@ -1,96 +1,56 @@
-// Toolcomparison: run every estimation technique on the same path under
-// the same conditions and report estimate + probing cost side by side —
-// the "fair comparison under reproducible and controllable conditions"
-// the paper's summary calls for.
+// Toolcomparison: run every registered estimation technique on the same
+// path under the same conditions and report estimate + probing cost
+// side by side — the "fair comparison under reproducible and
+// controllable conditions" the paper's summary calls for. The tool list
+// comes from the registry through the abw facade, so a technique added
+// there shows up here with no code change.
 //
 //	go run ./examples/toolcomparison
 package main
 
 import (
+	"context"
 	"fmt"
-	"log"
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/crosstraffic"
-	"abw/internal/rng"
-	"abw/internal/sim"
-	"abw/internal/tools/bfind"
-	"abw/internal/tools/delphi"
-	"abw/internal/tools/igi"
-	"abw/internal/tools/pathchirp"
-	"abw/internal/tools/pathload"
-	"abw/internal/tools/spruce"
-	"abw/internal/tools/topp"
-	"abw/internal/unit"
+	"abw"
 )
 
 const (
-	capacity  = 50 * unit.Mbps
-	crossRate = 25 * unit.Mbps // true avail-bw: 25 Mbps
+	capacity  = 50 * abw.Mbps
+	crossRate = 25 * abw.Mbps // true avail-bw: 25 Mbps
 )
 
 // scenario builds a fresh path per tool so each sees statistically
 // identical (same seed) cross traffic rather than leftovers of the
 // previous tool's probing.
-func scenario() *core.SimTransport {
-	s := sim.New()
-	link := s.NewLink("tight", capacity, time.Millisecond)
-	path := sim.MustPath(link)
-	crosstraffic.Poisson(crosstraffic.Stream{Rate: crossRate}, rng.New(7)).
-		Run(s, path.Route(), 0, 10*time.Minute)
-	return core.NewSimTransport(s, path)
+func scenario() abw.Transport {
+	return abw.NewScenario(abw.ScenarioOptions{
+		Capacity:  capacity,
+		CrossRate: crossRate,
+		Model:     abw.Poisson,
+		Horizon:   10 * time.Minute,
+		Seed:      7,
+	}).Transport
 }
 
 func main() {
-	mk := func(name string, build func() (core.Estimator, error)) (string, core.Estimator) {
-		est, err := build()
-		if err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
-		return name, est
-	}
-	type entry struct {
-		name string
-		est  core.Estimator
-	}
-	var tools []entry
-	add := func(name string, build func() (core.Estimator, error)) {
-		n, e := mk(name, build)
-		tools = append(tools, entry{n, e})
-	}
-	add("pathload", func() (core.Estimator, error) {
-		return pathload.New(pathload.Config{MinRate: 1 * unit.Mbps, MaxRate: 49 * unit.Mbps})
-	})
-	add("topp", func() (core.Estimator, error) {
-		return topp.New(topp.Config{MinRate: 5 * unit.Mbps, MaxRate: 45 * unit.Mbps})
-	})
-	add("pathchirp", func() (core.Estimator, error) {
-		return pathchirp.New(pathchirp.Config{Lo: 5 * unit.Mbps, Hi: 48 * unit.Mbps})
-	})
-	add("ptr", func() (core.Estimator, error) {
-		return igi.New(igi.Config{InitRate: capacity})
-	})
-	add("igi", func() (core.Estimator, error) {
-		return igi.New(igi.Config{Mode: igi.IGI, Capacity: capacity})
-	})
-	add("delphi", func() (core.Estimator, error) {
-		return delphi.New(delphi.Config{Capacity: capacity})
-	})
-	add("spruce", func() (core.Estimator, error) {
-		return spruce.New(spruce.Config{Capacity: capacity, Rand: rng.New(11)})
-	})
-	add("bfind", func() (core.Estimator, error) {
-		return bfind.New(bfind.Config{StartRate: 5 * unit.Mbps, Step: 2 * unit.Mbps, MaxRate: 48 * unit.Mbps})
-	})
-
 	fmt.Println("true avail-bw: 25.0 Mbps (50 Mbps link, 25 Mbps Poisson cross traffic)")
 	fmt.Printf("%-10s %-10s %-18s %-9s %-9s %-12s %s\n",
 		"tool", "estimate", "range", "streams", "packets", "probe bytes", "latency")
-	for _, e := range tools {
-		rep, err := e.est.Estimate(scenario())
+	for _, tool := range abw.Tools() {
+		params := abw.Params{
+			Capacity: capacity,
+			Rand:     abw.NewRand(11),
+		}
+		if tool.Name == "bfind" {
+			// BFind ramps an intrusive UDP load; bound it explicitly.
+			params.RateLo = 5 * abw.Mbps
+			params.RateHi = 48 * abw.Mbps
+		}
+		rep, err := abw.Estimate(context.Background(), tool.Name, params, scenario())
 		if err != nil {
-			fmt.Printf("%-10s error: %v\n", e.name, err)
+			fmt.Printf("%-10s error: %v\n", tool.Name, err)
 			continue
 		}
 		rng := "-"
@@ -98,10 +58,12 @@ func main() {
 			rng = fmt.Sprintf("[%.1f, %.1f]", rep.Low.MbpsOf(), rep.High.MbpsOf())
 		}
 		fmt.Printf("%-10s %-10.2f %-18s %-9d %-9d %-12d %v\n",
-			e.name, rep.Point.MbpsOf(), rng, rep.Streams, rep.Packets, rep.ProbeBytes,
+			tool.Name, rep.Point.MbpsOf(), rng, rep.Streams, rep.Packets, rep.ProbeBytes,
 			rep.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Println("\nnote: comparisons are only meaningful at matched probing budgets and")
 	fmt.Println("timescales (misconceptions #1-#3); this table reports the cost columns")
-	fmt.Println("precisely so such a comparison can be made.")
+	fmt.Println("precisely so such a comparison can be made — or pass the same")
+	fmt.Println("abw.Budget in Params to the end-to-end tools to enforce parity by")
+	fmt.Println("construction (sim-only bfind bypasses the transport and refuses one).")
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// ErrBudget is the sentinel wrapped by every budget-exhaustion error, so
+// callers can distinguish "the tool ran out of probing budget" from a
+// measurement failure with errors.Is.
+var ErrBudget = errors.New("probing budget exhausted")
+
+// Budget caps the probing effort of one estimation run. Zero fields are
+// unlimited. The paper's summary demands tool comparisons "under
+// reproducible and controllable conditions" at equal probing budgets;
+// enforcing the caps in the transport — below every tool — makes
+// cross-tool comparisons budget-fair by construction rather than by
+// per-tool configuration discipline.
+type Budget struct {
+	// MaxStreams caps the number of probing streams.
+	MaxStreams int `json:"max_streams,omitempty"`
+	// MaxPackets caps the total probe packets sent.
+	MaxPackets int `json:"max_packets,omitempty"`
+	// MaxBytes caps the total probing volume (intrusiveness).
+	MaxBytes unit.Bytes `json:"max_bytes,omitempty"`
+	// MaxDuration caps the estimation latency on the transport's clock
+	// (virtual time on the simulator).
+	MaxDuration time.Duration `json:"max_duration_ns,omitempty"`
+}
+
+// IsZero reports whether the budget imposes no cap at all.
+func (b Budget) IsZero() bool {
+	return b.MaxStreams <= 0 && b.MaxPackets <= 0 && b.MaxBytes <= 0 && b.MaxDuration <= 0
+}
+
+// BudgetTransport decorates a Transport with a probing budget: a Probe
+// call that would exceed any cap fails with an error wrapping ErrBudget
+// before the stream is sent. Like every Transport, it is not safe for
+// concurrent use; wrap a fresh one per estimation run.
+type BudgetTransport struct {
+	t      Transport
+	budget Budget
+
+	streams int
+	packets int
+	bytes   unit.Bytes
+	started bool
+	start   time.Duration
+}
+
+// WithBudget wraps t with the budget. A zero budget returns t unchanged.
+func WithBudget(t Transport, b Budget) Transport {
+	if b.IsZero() {
+		return t
+	}
+	return &BudgetTransport{t: t, budget: b}
+}
+
+// Now implements Transport.
+func (bt *BudgetTransport) Now() time.Duration { return bt.t.Now() }
+
+// Used reports the effort consumed so far and the elapsed transport
+// time since the first Probe.
+func (bt *BudgetTransport) Used() (streams, packets int, bytes unit.Bytes, elapsed time.Duration) {
+	if bt.started {
+		elapsed = bt.t.Now() - bt.start
+	}
+	return bt.streams, bt.packets, bt.bytes, elapsed
+}
+
+// Probe implements Transport, charging the stream against the budget.
+func (bt *BudgetTransport) Probe(spec probe.StreamSpec) (*probe.Record, error) {
+	if !bt.started {
+		bt.started = true
+		bt.start = bt.t.Now()
+	}
+	b := bt.budget
+	switch {
+	case b.MaxStreams > 0 && bt.streams+1 > b.MaxStreams:
+		return nil, fmt.Errorf("core: %w: stream %d exceeds MaxStreams %d", ErrBudget, bt.streams+1, b.MaxStreams)
+	case b.MaxPackets > 0 && bt.packets+spec.Count > b.MaxPackets:
+		return nil, fmt.Errorf("core: %w: %d+%d packets exceed MaxPackets %d", ErrBudget, bt.packets, spec.Count, b.MaxPackets)
+	case b.MaxBytes > 0 && bt.bytes+spec.Bytes() > b.MaxBytes:
+		return nil, fmt.Errorf("core: %w: %d+%d bytes exceed MaxBytes %d", ErrBudget, bt.bytes, spec.Bytes(), b.MaxBytes)
+	case b.MaxDuration > 0 && bt.t.Now()-bt.start >= b.MaxDuration:
+		return nil, fmt.Errorf("core: %w: %v elapsed of MaxDuration %v", ErrBudget, bt.t.Now()-bt.start, b.MaxDuration)
+	}
+	rec, err := bt.t.Probe(spec)
+	if err != nil {
+		return nil, err
+	}
+	bt.streams++
+	bt.packets += spec.Count
+	bt.bytes += spec.Bytes()
+	return rec, nil
+}
+
+var _ Transport = (*BudgetTransport)(nil)

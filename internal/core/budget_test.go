@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// stubTransport resolves every stream instantly, advancing a fake clock
+// by a fixed step per probe.
+type stubTransport struct {
+	now    time.Duration
+	step   time.Duration
+	probes int
+}
+
+func (s *stubTransport) Now() time.Duration { return s.now }
+
+func (s *stubTransport) Probe(spec probe.StreamSpec) (*probe.Record, error) {
+	s.probes++
+	s.now += s.step
+	rec := probe.NewRecord(spec)
+	for i := range rec.Recv {
+		rec.Recv[i] = s.now
+		rec.MarkResolved()
+	}
+	return rec, nil
+}
+
+func spec10() probe.StreamSpec { return probe.Periodic(10*unit.Mbps, 100, 10) }
+
+func TestBudgetZeroIsPassthrough(t *testing.T) {
+	st := &stubTransport{}
+	if got := WithBudget(st, Budget{}); got != Transport(st) {
+		t.Error("zero budget should return the transport unchanged")
+	}
+	if got := WithObserver(st, nil); got != Transport(st) {
+		t.Error("nil observer should return the transport unchanged")
+	}
+}
+
+func TestBudgetMaxStreams(t *testing.T) {
+	st := &stubTransport{}
+	bt := WithBudget(st, Budget{MaxStreams: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := bt.Probe(spec10()); err != nil {
+			t.Fatalf("stream %d within budget failed: %v", i, err)
+		}
+	}
+	if _, err := bt.Probe(spec10()); !errors.Is(err, ErrBudget) {
+		t.Fatalf("third stream err = %v, want ErrBudget", err)
+	}
+	if st.probes != 2 {
+		t.Errorf("underlying transport saw %d probes, want 2 (cap enforced before send)", st.probes)
+	}
+}
+
+func TestBudgetMaxPackets(t *testing.T) {
+	bt := WithBudget(&stubTransport{}, Budget{MaxPackets: 25})
+	if _, err := bt.Probe(spec10()); err != nil { // 10 pkts
+		t.Fatal(err)
+	}
+	if _, err := bt.Probe(spec10()); err != nil { // 20 pkts
+		t.Fatal(err)
+	}
+	if _, err := bt.Probe(spec10()); !errors.Is(err, ErrBudget) { // would be 30
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestBudgetMaxBytes(t *testing.T) {
+	bt := WithBudget(&stubTransport{}, Budget{MaxBytes: 1500})
+	if _, err := bt.Probe(spec10()); err != nil { // 1000 B
+		t.Fatal(err)
+	}
+	if _, err := bt.Probe(spec10()); !errors.Is(err, ErrBudget) { // would be 2000
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestBudgetMaxDuration(t *testing.T) {
+	st := &stubTransport{step: 40 * time.Millisecond}
+	bt := WithBudget(st, Budget{MaxDuration: 100 * time.Millisecond})
+	for i := 0; i < 3; i++ { // clock: 40, 80, 120 ms after each
+		if _, err := bt.Probe(spec10()); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	// 120 ms elapsed since the first probe: over budget.
+	if _, err := bt.Probe(spec10()); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	streams, packets, bytes, elapsed := bt.(*BudgetTransport).Used()
+	if streams != 3 || packets != 30 || bytes != 3000 {
+		t.Errorf("Used() = %d streams, %d pkts, %d B; want 3, 30, 3000", streams, packets, bytes)
+	}
+	if elapsed != 120*time.Millisecond {
+		t.Errorf("elapsed = %v, want 120ms", elapsed)
+	}
+}
+
+func TestObserverSeesStreams(t *testing.T) {
+	var events []StreamEvent
+	ot := WithObserver(&stubTransport{step: time.Millisecond}, func(ev StreamEvent) {
+		events = append(events, ev)
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := ot.Probe(spec10()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(events) != 3 {
+		t.Fatalf("observer saw %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.Stream != i+1 {
+			t.Errorf("event %d: Stream = %d, want %d", i, ev.Stream, i+1)
+		}
+		if ev.Packets != 10 || ev.Bytes != 1000 || ev.Lost != 0 {
+			t.Errorf("event %d: %+v, want 10 pkts / 1000 B / 0 lost", i, ev)
+		}
+	}
+	if events[2].At != 3*time.Millisecond {
+		t.Errorf("event 3 At = %v, want 3ms", events[2].At)
+	}
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -39,26 +40,28 @@ type Transport interface {
 // paper's summary.
 type Report struct {
 	// Tool names the estimator that produced the report.
-	Tool string
+	Tool string `json:"tool"`
 	// Point is the headline avail-bw estimate.
-	Point unit.Rate
+	Point unit.Rate `json:"point_bps"`
 	// Low and High bound the estimated variation range of the avail-bw
 	// process at the probing timescale. This range is NOT a confidence
 	// interval for the mean — see Misconceptions[8].
-	Low, High unit.Rate
+	Low  unit.Rate `json:"low_bps"`
+	High unit.Rate `json:"high_bps"`
 	// Streams and Packets count the probing effort.
-	Streams, Packets int
+	Streams int `json:"streams"`
+	Packets int `json:"packets"`
 	// ProbeBytes is the total probing volume (intrusiveness).
-	ProbeBytes unit.Bytes
+	ProbeBytes unit.Bytes `json:"probe_bytes"`
 	// Elapsed is the estimation latency on the transport's clock.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Samples holds per-stream avail-bw samples for direct-probing
 	// tools; nil for iterative tools, which never sample the process
 	// (they only compare rates against it).
-	Samples []unit.Rate
+	Samples []unit.Rate `json:"samples_bps,omitempty"`
 	// Capacity is the tool's own estimate of the tight-link capacity,
 	// when the technique produces one (TOPP); zero otherwise.
-	Capacity unit.Rate
+	Capacity unit.Rate `json:"capacity_bps,omitempty"`
 }
 
 // String renders the report the way the tools' CLIs print it.
@@ -76,8 +79,41 @@ type Estimator interface {
 	// Name identifies the technique ("pathload", "spruce", ...).
 	Name() string
 	// Estimate runs the technique over the transport until it converges
-	// or exhausts its budget.
-	Estimate(t Transport) (*Report, error)
+	// or exhausts its budget. Implementations honor ctx cancellation
+	// and deadlines at stream boundaries: a stream in flight completes,
+	// but no further stream is sent once ctx is done.
+	Estimate(ctx context.Context, t Transport) (*Report, error)
+}
+
+// Probe sends one stream through t after checking ctx. It is the helper
+// every estimator's probing loop goes through, which is what makes
+// cancellation uniform across tools: each loop iteration observes ctx
+// exactly once, at the stream boundary.
+func Probe(ctx context.Context, t Transport, spec probe.StreamSpec) (*probe.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.Probe(spec)
+}
+
+// Outcome is the JSON shape of one estimation run: the report on
+// success, the error text on failure. It exists so that every consumer
+// that serializes estimation results — the compare experiment,
+// cmd/abwprobe -json — marshals errors the same way in one place (a
+// bare error interface would marshal as {}).
+type Outcome struct {
+	Tool   string  `json:"tool"`
+	Report *Report `json:"report,omitempty"`
+	Err    string  `json:"error,omitempty"`
+}
+
+// NewOutcome captures a run's report and error into the JSON shape.
+func NewOutcome(tool string, rep *Report, err error) Outcome {
+	o := Outcome{Tool: tool, Report: rep}
+	if err != nil {
+		o.Err = err.Error()
+	}
+	return o
 }
 
 // --- Sampling theory (Equation 11 and the Figure 1 pitfall) ---

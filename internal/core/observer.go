@@ -1,0 +1,68 @@
+package core
+
+import (
+	"time"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// StreamEvent is one per-stream progress notification: what an observer
+// learns each time a probing stream resolves. Estimation runs are
+// opaque between their start and their report; the observer hook is the
+// seam that makes them observable from outside — a progress bar in
+// cmd/abwprobe, a metric sink in a long-running service.
+type StreamEvent struct {
+	// Stream is the 1-based ordinal of the stream within the run.
+	Stream int
+	// Packets and Bytes are the stream's size as sent.
+	Packets int
+	Bytes   unit.Bytes
+	// Lost counts the stream's packets known lost.
+	Lost int
+	// At is the transport clock when the stream resolved.
+	At time.Duration
+}
+
+// Observer receives per-stream progress events. Calls happen on the
+// estimating goroutine, between streams; a slow observer slows probing.
+type Observer func(StreamEvent)
+
+// observedTransport decorates a Transport, invoking the observer after
+// every successfully resolved stream.
+type observedTransport struct {
+	t       Transport
+	obs     Observer
+	streams int
+}
+
+// WithObserver wraps t so obs sees every resolved stream. A nil
+// observer returns t unchanged.
+func WithObserver(t Transport, obs Observer) Transport {
+	if obs == nil {
+		return t
+	}
+	return &observedTransport{t: t, obs: obs}
+}
+
+// Now implements Transport.
+func (ot *observedTransport) Now() time.Duration { return ot.t.Now() }
+
+// Probe implements Transport.
+func (ot *observedTransport) Probe(spec probe.StreamSpec) (*probe.Record, error) {
+	rec, err := ot.t.Probe(spec)
+	if err != nil {
+		return nil, err
+	}
+	ot.streams++
+	ot.obs(StreamEvent{
+		Stream:  ot.streams,
+		Packets: spec.Count,
+		Bytes:   spec.Bytes(),
+		Lost:    rec.LossCount(),
+		At:      ot.t.Now(),
+	})
+	return rec, nil
+}
+
+var _ Transport = (*observedTransport)(nil)

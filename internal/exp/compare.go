@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,12 +9,7 @@ import (
 	"abw/internal/rng"
 	"abw/internal/runner"
 	"abw/internal/sim"
-	"abw/internal/tools/delphi"
-	"abw/internal/tools/igi"
-	"abw/internal/tools/pathchirp"
-	"abw/internal/tools/pathload"
-	"abw/internal/tools/spruce"
-	"abw/internal/tools/topp"
+	"abw/internal/tools/registry"
 	"abw/internal/unit"
 )
 
@@ -25,6 +21,10 @@ type CompareConfig struct {
 	CrossRate unit.Rate // default 25 Mbps
 	Model     CrossModel
 	Seed      uint64
+	// Budget, if non-zero, is applied to every tool through a
+	// core.BudgetTransport, making the comparison budget-fair by
+	// construction rather than by per-tool configuration discipline.
+	Budget core.Budget
 }
 
 func (c CompareConfig) withDefaults() CompareConfig {
@@ -43,15 +43,12 @@ func (c CompareConfig) withDefaults() CompareConfig {
 	return c
 }
 
-// CompareEntry is one tool's outcome on the common scenario.
+// CompareEntry is one tool's outcome on the common scenario. The
+// embedded core.Outcome carries the JSON shape (report, error text);
+// Err keeps the live error for programmatic use.
 type CompareEntry struct {
-	Tool   string
-	Report *core.Report
-	// Err is the tool's estimation failure, if any. ErrMsg carries its
-	// text into the structured JSON output, where a bare error
-	// interface would marshal as {}.
-	Err    error  `json:"-"`
-	ErrMsg string `json:"Err,omitempty"`
+	core.Outcome
+	Err error `json:"-"`
 }
 
 // CompareResult is the comparison outcome.
@@ -61,12 +58,13 @@ type CompareResult struct {
 	Entries     []CompareEntry
 }
 
-// CompareTools runs every estimator against statistically identical
-// copies of the same path (same seed, fresh simulation per tool so no
-// tool inherits another's queue backlog), recording estimate and
-// probing cost. This is the repository's broadest integration test:
-// seven estimation techniques, the transport, the simulator and three
-// traffic models all exercised through the public API.
+// CompareTools runs every end-to-end estimator in the registry against
+// statistically identical copies of the same path (same seed, fresh
+// simulation per tool so no tool inherits another's queue backlog),
+// recording estimate and probing cost. This is the repository's
+// broadest integration test: seven estimation techniques, the
+// transport, the simulator and three traffic models all exercised
+// through the public construction path.
 func CompareTools(cfg CompareConfig) (*CompareResult, error) {
 	c := cfg.withDefaults()
 	res := &CompareResult{Config: c, TrueAvailBw: c.Capacity - c.CrossRate}
@@ -79,50 +77,29 @@ func CompareTools(cfg CompareConfig) (*CompareResult, error) {
 		return core.NewSimTransport(s, path)
 	}
 
-	builders := []struct {
-		name  string
-		build func() (core.Estimator, error)
-	}{
-		{"pathload", func() (core.Estimator, error) {
-			return pathload.New(pathload.Config{MinRate: c.Capacity / 25, MaxRate: c.Capacity * 49 / 50})
-		}},
-		{"topp", func() (core.Estimator, error) {
-			return topp.New(topp.Config{MinRate: c.Capacity / 10, MaxRate: c.Capacity * 9 / 10})
-		}},
-		{"pathchirp", func() (core.Estimator, error) {
-			return pathchirp.New(pathchirp.Config{Lo: c.Capacity / 10, Hi: c.Capacity * 24 / 25})
-		}},
-		{"ptr", func() (core.Estimator, error) {
-			return igi.New(igi.Config{InitRate: c.Capacity})
-		}},
-		{"igi", func() (core.Estimator, error) {
-			return igi.New(igi.Config{Mode: igi.IGI, Capacity: c.Capacity})
-		}},
-		{"delphi", func() (core.Estimator, error) {
-			return delphi.New(delphi.Config{Capacity: c.Capacity})
-		}},
-		{"spruce", func() (core.Estimator, error) {
-			return spruce.New(spruce.Config{Capacity: c.Capacity, Rand: rng.New(c.Seed + 1)})
-		}},
+	// The registry's end-to-end tools, in registration order; sim-only
+	// techniques (BFind) need hop visibility the common scenario does
+	// not model fairly, so the comparison skips them.
+	var tools []string
+	for _, d := range registry.Tools() {
+		if !d.SimOnly {
+			tools = append(tools, d.Name)
+		}
 	}
 	// Each tool probes its own scenario copy, so every tool is one
 	// runner job; a tool's estimation failure is recorded as its entry,
 	// not an experiment error.
-	entries, err := runner.All(len(builders), func(bi int) (CompareEntry, error) {
-		b := builders[bi]
-		est, err := b.build()
-		if err != nil {
-			return CompareEntry{}, fmt.Errorf("exp: compare: %s: %w", b.name, err)
-		}
-		rep, err := est.Estimate(scenario())
-		e := CompareEntry{Tool: b.name, Report: rep, Err: err}
-		if err != nil {
-			e.ErrMsg = err.Error()
-		}
-		return e, nil
+	entries, err := runner.All(len(tools), func(ti int) (CompareEntry, error) {
+		name := tools[ti]
+		rep, err := registry.Estimate(context.Background(), name, registry.Params{
+			Capacity: c.Capacity,
+			Rand:     rng.New(c.Seed + 1),
+			Budget:   c.Budget,
+		}, scenario())
+		return CompareEntry{Outcome: core.NewOutcome(name, rep, err), Err: err}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: compare: %w", err)
 	}
 	res.Entries = entries
 	return res, nil

@@ -12,6 +12,7 @@
 package bfind
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -103,8 +104,10 @@ func (e *Estimator) Name() string { return "bfind" }
 
 // Estimate implements core.Estimator. The transport must be a
 // *core.SimTransport; BFind needs hop visibility that end-to-end
-// transports cannot offer.
-func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+// transports cannot offer. BFind drives the simulator directly rather
+// than calling Probe, so it checks ctx itself at every ramp window —
+// the same stream-boundary granularity as the other tools.
+func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Report, error) {
 	st, ok := t.(*core.SimTransport)
 	if !ok {
 		return nil, fmt.Errorf("bfind: requires a simulated path (per-hop RTT observation)")
@@ -128,6 +131,9 @@ func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
 	estimate := c.MaxRate
 ramp:
 	for ; rate <= c.MaxRate; rate += c.Step {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Offer the UDP load for one window.
 		load := crosstraffic.CBR(crosstraffic.Stream{
 			Rate:  rate,

@@ -1,6 +1,7 @@
 package bfind
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -30,7 +31,7 @@ func TestRequiresSimTransport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Estimate(fakeTransport{}); err == nil {
+	if _, err := e.Estimate(context.Background(), fakeTransport{}); err == nil {
 		t.Error("non-sim transport accepted")
 	}
 }
@@ -48,7 +49,7 @@ func TestEstimateSingleHop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestEstimateIdentifiesCeilingMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err == nil {
 		t.Error("expected ceiling-miss error")
 	}
@@ -82,7 +83,7 @@ func TestEstimateMultiHopFindsTightHop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}

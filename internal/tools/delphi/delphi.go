@@ -11,6 +11,7 @@
 package delphi
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -84,7 +85,7 @@ func (e *Estimator) Name() string { return "delphi" }
 
 // Estimate implements core.Estimator: it collects one avail-bw sample
 // per train via Equation (9) and reports their mean and spread.
-func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Report, error) {
 	c := e.cfg
 	start := t.Now()
 	spec := probe.Periodic(c.ProbeRate, c.PktSize, c.TrainLen)
@@ -92,7 +93,7 @@ func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
 	var packets int
 	var bytes unit.Bytes
 	for i := 0; i < c.Trains; i++ {
-		rec, err := t.Probe(spec)
+		rec, err := core.Probe(ctx, t, spec)
 		if err != nil {
 			return nil, fmt.Errorf("delphi: train %d: %w", i, err)
 		}

@@ -12,6 +12,7 @@
 package igi
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -119,7 +120,7 @@ func (e *Estimator) Name() string {
 // Estimate implements core.Estimator: increase the source gap from the
 // initial (fastest) setting until the output gap stops expanding, then
 // report PTR or the IGI gap-model estimate at that turning point.
-func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Report, error) {
 	c := e.cfg
 	start := t.Now()
 	gapInit := unit.GapFor(c.PktSize, c.InitRate)
@@ -130,7 +131,7 @@ func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
 	for iter := 0; iter < c.MaxIterations; iter++ {
 		rate := unit.RateOf(c.PktSize, gap)
 		spec := probe.Periodic(rate, c.PktSize, c.TrainLen)
-		rec, err := t.Probe(spec)
+		rec, err := core.Probe(ctx, t, spec)
 		if err != nil {
 			return nil, fmt.Errorf("igi: iteration %d: %w", iter, err)
 		}

@@ -1,6 +1,7 @@
 package igi
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestPTRConvergesCBR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestIGIConvergesCBR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestPTRPoissonPlausible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestIGIEstimateClampedNonNegative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package pathchirp
 
 import (
+	"context"
 	"fmt"
 
 	"abw/internal/core"
@@ -93,7 +94,7 @@ func New(cfg Config) (*Estimator, error) {
 func (e *Estimator) Name() string { return "pathchirp" }
 
 // Estimate implements core.Estimator.
-func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Report, error) {
 	c := e.cfg
 	start := t.Now()
 	spec, err := probe.Chirp(c.Lo, c.Hi, c.PktSize, c.PacketsPerChirp, c.Gamma)
@@ -104,7 +105,7 @@ func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
 	var streams, packets int
 	var bytes unit.Bytes
 	for i := 0; i < c.Chirps; i++ {
-		rec, err := t.Probe(spec)
+		rec, err := core.Probe(ctx, t, spec)
 		if err != nil {
 			return nil, fmt.Errorf("pathchirp: chirp %d: %w", i, err)
 		}

@@ -1,6 +1,7 @@
 package pathchirp
 
 import (
+	"context"
 	"testing"
 
 	"abw/internal/tools/toolstest"
@@ -31,7 +32,7 @@ func TestEstimateCBR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestEstimatePoissonPlausible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestIdlePathEstimatesTopRate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestChirpEfficiency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}

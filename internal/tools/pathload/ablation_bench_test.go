@@ -1,0 +1,38 @@
+package pathload_test
+
+import (
+	"context"
+	"testing"
+
+	"abw/internal/stats"
+	"abw/internal/tools/pathload"
+	"abw/internal/tools/toolstest"
+	"abw/internal/unit"
+)
+
+// BenchmarkAblationTrendThresholds contrasts Pathload with default and
+// aggressive PCT/PDT thresholds, exercising the trend-analysis knob.
+func BenchmarkAblationTrendThresholds(b *testing.B) {
+	run := func(b *testing.B, cfg stats.TrendConfig) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
+			est, err := pathload.New(pathload.Config{
+				MinRate: 2 * unit.Mbps, MaxRate: 48 * unit.Mbps,
+				StreamsPerRate: 3, Trend: cfg,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := est.Estimate(context.Background(), sc.Transport)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.Point.MbpsOf(), "estimate-mbps")
+		}
+	}
+	b.Run("default", func(b *testing.B) { run(b, stats.TrendConfig{}) })
+	b.Run("aggressive", func(b *testing.B) {
+		run(b, stats.TrendConfig{PCTIncrease: 0.55, PDTIncrease: 0.4, PCTNoIncrease: 0.45, PDTNoIncrease: 0.3})
+	})
+}

@@ -13,6 +13,7 @@
 package pathload
 
 import (
+	"context"
 	"fmt"
 
 	"abw/internal/core"
@@ -119,7 +120,7 @@ const (
 // Estimate implements core.Estimator: binary search on the probing rate,
 // classifying each rate by the fraction of its fleet showing increasing
 // OWD trends, and reporting the bracketed variation range.
-func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Report, error) {
 	c := e.cfg
 	start := t.Now()
 	lo, hi := c.MinRate, c.MaxRate
@@ -134,7 +135,7 @@ func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
 		usable := 0
 		for i := 0; i < c.StreamsPerRate; i++ {
 			spec := probe.Periodic(rate, c.PktSize, c.StreamLen)
-			rec, err := t.Probe(spec)
+			rec, err := core.Probe(ctx, t, spec)
 			if err != nil {
 				return grey, err
 			}

@@ -1,0 +1,236 @@
+package registry_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"abw/internal/core"
+	"abw/internal/rng"
+	"abw/internal/tools/registry"
+	"abw/internal/tools/toolstest"
+	"abw/internal/unit"
+)
+
+// params returns a Params set every registered tool can be built from
+// on the canonical toolstest scenario, sized down so the whole catalog
+// runs in seconds.
+func params(sc *toolstest.Scenario) registry.Params {
+	return registry.Params{
+		Capacity:  sc.Capacity,
+		Rand:      rng.New(7),
+		StreamLen: 20,
+		Repeat:    3,
+		MaxRounds: 6,
+	}
+}
+
+// TestRoundTripAllTools constructs every registered tool from the
+// uniform Params and runs it end to end against a toolstest scenario:
+// the registry's reason to exist is that this loop needs no per-tool
+// code.
+func TestRoundTripAllTools(t *testing.T) {
+	tools := registry.Tools()
+	if len(tools) < 8 {
+		t.Fatalf("registry has %d tools, want at least 8", len(tools))
+	}
+	for _, d := range tools {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			sc := toolstest.New(toolstest.Options{Model: toolstest.CBR})
+			rep, err := registry.Estimate(context.Background(), d.Name, params(sc), sc.Transport)
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name, err)
+			}
+			if rep.Tool != d.Name {
+				t.Errorf("report names %q, want %q", rep.Tool, d.Name)
+			}
+			if !rep.Point.IsValid() || rep.Point > 2*sc.Capacity {
+				t.Errorf("%s: implausible estimate %v on a %v link", d.Name, rep.Point, sc.Capacity)
+			}
+			if rep.Packets <= 0 || rep.ProbeBytes <= 0 {
+				t.Errorf("%s: probing effort not accounted: %+v", d.Name, rep)
+			}
+		})
+	}
+}
+
+// TestAliasesAndLookup covers name resolution: canonical names,
+// aliases, and the unknown-tool error listing the catalog.
+func TestAliasesAndLookup(t *testing.T) {
+	if _, ok := registry.Lookup("pathchirp"); !ok {
+		t.Error("pathchirp not registered")
+	}
+	d, ok := registry.Lookup("chirp")
+	if !ok || d.Name != "pathchirp" {
+		t.Errorf("alias chirp resolved to %q, %v", d.Name, ok)
+	}
+	if _, ok := registry.Lookup("nosuch"); ok {
+		t.Error("phantom tool found")
+	}
+	if _, err := registry.Build("nosuch", registry.Params{}); err == nil {
+		t.Error("Build(nosuch) should fail")
+	}
+}
+
+// TestMissingParams checks that requirement validation is descriptor-
+// driven: direct-probing tools without a capacity, spruce without a
+// random source, bracket tools with nothing to derive a bracket from.
+func TestMissingParams(t *testing.T) {
+	cases := []struct {
+		tool string
+		p    registry.Params
+	}{
+		{"spruce", registry.Params{Capacity: 50 * unit.Mbps}}, // no Rand
+		{"delphi", registry.Params{RateLo: 1, RateHi: 2}},     // no Capacity
+		{"igi", registry.Params{}},                            // no Capacity
+		{"pathload", registry.Params{}},                       // no bracket, no Capacity
+		{"topp", registry.Params{RateLo: 10 * unit.Mbps}},     // half a bracket
+		{"ptr", registry.Params{}},                            // nothing to derive InitRate from
+		{"bfind", registry.Params{}},                          // no ramp ceiling
+	}
+	for _, c := range cases {
+		if _, err := registry.Build(c.tool, c.p); err == nil {
+			t.Errorf("%s: Build succeeded with missing requirements %+v", c.tool, c.p)
+		}
+		// The descriptor must predict the failure: MissingParams is
+		// what CLIs derive their requirement errors from, so any
+		// Params that fail Build for a missing input must be flagged
+		// here too, before a socket is ever dialed.
+		d, ok := registry.Lookup(c.tool)
+		if !ok {
+			t.Fatalf("%s not registered", c.tool)
+		}
+		if missing := d.MissingParams(c.p); len(missing) == 0 {
+			t.Errorf("%s: MissingParams(%+v) = none, but Build fails", c.tool, c.p)
+		}
+	}
+	// The CLI-facing requirement list must name the missing field.
+	d, _ := registry.Lookup("spruce")
+	missing := d.MissingParams(registry.Params{})
+	found := false
+	for _, m := range missing {
+		if m == "Capacity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spruce MissingParams = %v, want Capacity listed", missing)
+	}
+}
+
+// TestDefaultsMerge checks that zero Params fields take the
+// descriptor's published defaults while set fields win.
+func TestDefaultsMerge(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{Model: toolstest.CBR})
+	// Default delphi sends Trains=20 streams; Repeat=2 must override.
+	rep, err := registry.Estimate(context.Background(), "delphi",
+		registry.Params{Capacity: sc.Capacity, Repeat: 2}, sc.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streams != 2 {
+		t.Errorf("delphi ran %d trains, want the overridden 2", rep.Streams)
+	}
+}
+
+// TestCancellationMidRun asserts the tentpole's contract: cancelling
+// the context mid-run stops the estimator at the next stream boundary
+// with a context error, promptly rather than after the full budget.
+func TestCancellationMidRun(t *testing.T) {
+	for _, tool := range []string{"pathload", "delphi", "spruce", "topp"} {
+		tool := tool
+		t.Run(tool, func(t *testing.T) {
+			sc := toolstest.New(toolstest.Options{Model: toolstest.CBR})
+			ctx, cancel := context.WithCancel(context.Background())
+			var streams atomic.Int64
+			p := params(sc)
+			if tool == "spruce" {
+				// Spruce batches 25 pairs per stream; ask for enough
+				// pairs that the run needs several streams.
+				p.Repeat = 100
+			}
+			p.Observer = func(ev core.StreamEvent) {
+				if streams.Add(1) == 2 {
+					cancel() // mid-run: two streams resolved, more to come
+				}
+			}
+			rep, err := registry.Estimate(ctx, tool, p, sc.Transport)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v (report %v), want context.Canceled", err, rep)
+			}
+			if got := streams.Load(); got != 2 {
+				t.Errorf("resolved %d streams after cancel, want exactly 2 (stream-boundary stop)", got)
+			}
+		})
+	}
+}
+
+// TestCancelledBeforeStart asserts no stream is sent under an already-
+// cancelled context.
+func TestCancelledBeforeStart(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{Model: toolstest.CBR})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var streams atomic.Int64
+	p := params(sc)
+	p.Observer = func(core.StreamEvent) { streams.Add(1) }
+	if _, err := registry.Estimate(ctx, "pathload", p, sc.Transport); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if streams.Load() != 0 {
+		t.Errorf("%d streams sent under a cancelled context", streams.Load())
+	}
+}
+
+// TestBudgetEnforced asserts the uniform budget is enforced below the
+// tool: a stream cap smaller than the tool's appetite fails the run
+// with ErrBudget.
+func TestBudgetEnforced(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{Model: toolstest.CBR})
+	p := params(sc)
+	p.Budget = core.Budget{MaxStreams: 2}
+	var streams atomic.Int64
+	p.Observer = func(core.StreamEvent) { streams.Add(1) }
+	_, err := registry.Estimate(context.Background(), "delphi", p, sc.Transport)
+	if !errors.Is(err, core.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if streams.Load() != 2 {
+		t.Errorf("observer saw %d streams, want the budgeted 2", streams.Load())
+	}
+}
+
+// TestSimOnlyRefusesDecorators asserts a SimOnly tool errors on a
+// requested Budget or Observer instead of silently running uncapped:
+// the transport decorators hang below core.Transport, which BFind
+// bypasses.
+func TestSimOnlyRefusesDecorators(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{Model: toolstest.CBR})
+	p := params(sc)
+	p.Budget = core.Budget{MaxPackets: 100}
+	if _, err := registry.Estimate(context.Background(), "bfind", p, sc.Transport); err == nil {
+		t.Error("bfind accepted a Budget it cannot enforce")
+	}
+	p = params(sc)
+	p.Observer = func(core.StreamEvent) {}
+	if _, err := registry.Estimate(context.Background(), "bfind", p, sc.Transport); err == nil {
+		t.Error("bfind accepted an Observer it cannot serve")
+	}
+}
+
+// TestCompareOrderStable pins the catalog order the compare experiment
+// and the CLI inherit: registration order, end-to-end tools first.
+func TestCompareOrderStable(t *testing.T) {
+	want := []string{"pathload", "topp", "pathchirp", "ptr", "igi", "delphi", "spruce", "bfind"}
+	got := registry.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}

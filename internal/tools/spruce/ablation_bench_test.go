@@ -1,0 +1,38 @@
+package spruce_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"abw/internal/rng"
+	"abw/internal/stats"
+	"abw/internal/tools/spruce"
+	"abw/internal/tools/toolstest"
+)
+
+// BenchmarkAblationSpruceSpacing contrasts Spruce's Poisson inter-pair
+// spacing with dense back-to-back pairs: sparse sampling trades latency
+// for independence of the samples.
+func BenchmarkAblationSpruceSpacing(b *testing.B) {
+	run := func(b *testing.B, spacing time.Duration) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
+			est, err := spruce.New(spruce.Config{
+				Capacity: sc.Capacity, Pairs: 100,
+				MeanSpacing: spacing, Rand: rng.New(uint64(i + 1)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := est.Estimate(context.Background(), sc.Transport)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(stats.RelativeError(rep.Point.MbpsOf(), 25), "eps")
+		}
+	}
+	b.Run("poisson-20ms", func(b *testing.B) { run(b, 20*time.Millisecond) })
+	b.Run("dense-1ms", func(b *testing.B) { run(b, time.Millisecond) })
+}

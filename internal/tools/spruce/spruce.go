@@ -14,6 +14,7 @@
 package spruce
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -93,7 +94,7 @@ func New(cfg Config) (*Estimator, error) {
 func (e *Estimator) Name() string { return "spruce" }
 
 // Estimate implements core.Estimator.
-func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Report, error) {
 	c := e.cfg
 	start := t.Now()
 	var samples []unit.Rate
@@ -110,7 +111,7 @@ func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("spruce: %w", err)
 		}
-		rec, err := t.Probe(spec)
+		rec, err := core.Probe(ctx, t, spec)
 		if err != nil {
 			return nil, fmt.Errorf("spruce: %w", err)
 		}

@@ -1,6 +1,7 @@
 package spruce
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestEstimateCBR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestEstimatePoisson(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestPairQuantizationWithLargeCrossPackets(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := e.Estimate(sc.Transport)
+		rep, err := e.Estimate(context.Background(), sc.Transport)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func TestSamplesClampedToPhysicalRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package topp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -87,7 +88,7 @@ type roundResult struct {
 // cross traffic, where individual pair ratios are heavily quantized by
 // discrete cross packets (the paper's fourth misconception describes
 // exactly this noise).
-func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
+func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Report, error) {
 	c := e.cfg
 	start := t.Now()
 	var rounds []roundResult
@@ -100,7 +101,7 @@ func (e *Estimator) Estimate(t core.Transport) (*core.Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("topp: %w", err)
 		}
-		rec, err := t.Probe(spec)
+		rec, err := core.Probe(ctx, t, spec)
 		if err != nil {
 			return nil, fmt.Errorf("topp: %w", err)
 		}

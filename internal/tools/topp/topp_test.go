@@ -1,6 +1,7 @@
 package topp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestEstimateCBR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestCapacityEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestEstimatePoissonUnderestimatesOrClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestAllRoundsOverloadedReportsFloor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.Estimate(sc.Transport)
+	rep, err := e.Estimate(context.Background(), sc.Transport)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,25 @@
+package abw
+
+import (
+	"abw/internal/livenet"
+)
+
+// Receiver is the live probing sink: a UDP socket recording per-packet
+// arrival timestamps, with a TCP control channel reporting them back.
+type Receiver = livenet.Receiver
+
+// LiveTransport implements Transport over real UDP sockets; it is what
+// cmd/abwprobe's send mode and the liveprobe example run estimators on.
+type LiveTransport = livenet.Transport
+
+// ListenReceiver starts a live receiver on the given TCP address (e.g.
+// "127.0.0.1:0"); the UDP probe socket binds the same port.
+func ListenReceiver(addr string) (*Receiver, error) {
+	return livenet.ListenReceiver(addr)
+}
+
+// DialReceiver connects a live transport to a receiver's control
+// address; every registered end-to-end tool can then Estimate over it.
+func DialReceiver(addr string) (*LiveTransport, error) {
+	return livenet.Dial(addr)
+}

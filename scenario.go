@@ -1,0 +1,48 @@
+package abw
+
+import (
+	"abw/internal/tools/toolstest"
+)
+
+// Traffic selects a cross-traffic model for simulated scenarios.
+type Traffic = toolstest.Traffic
+
+// Cross-traffic models.
+const (
+	CBR         = toolstest.CBR
+	Poisson     = toolstest.Poisson
+	ParetoOnOff = toolstest.ParetoOnOff
+)
+
+// ScenarioOptions configures a simulated path; zero values take the
+// paper's canonical parameters (50 Mbps tight link, 25 Mbps CBR cross
+// traffic, one hop, seed 1).
+type ScenarioOptions = toolstest.Options
+
+// Scenario is a simulated path with known ground truth: the controlled
+// conditions the paper demands for comparing estimation techniques.
+// Its Transport runs any registered tool; consecutive runs observe
+// consecutive slices of the cross-traffic process, exactly how a real
+// tool samples a live path.
+type Scenario struct {
+	// Transport delivers probing streams over the simulated path.
+	Transport Transport
+	// TrueAvailBw is the configured long-run avail-bw of the tight
+	// link — the ground truth estimates are judged against.
+	TrueAvailBw Rate
+	// Capacity is the tight-link capacity (what direct-probing tools
+	// need as Params.Capacity).
+	Capacity Rate
+}
+
+// NewScenario builds a deterministic simulated path. Identical options
+// give identical packet-level behavior, so estimator runs are exactly
+// reproducible.
+func NewScenario(opts ScenarioOptions) *Scenario {
+	sc := toolstest.New(opts)
+	return &Scenario{
+		Transport:   sc.Transport,
+		TrueAvailBw: sc.TrueAvailBw,
+		Capacity:    sc.Capacity,
+	}
+}

@@ -221,7 +221,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sc := toolstest.New(toolstest.Options{
 			Model:   toolstest.Poisson,
-			Seed:    uint64(i + 1),
+			Seed:    toolstest.Seed(uint64(i + 1)),
 			Horizon: time.Second,
 		})
 		sc.Sim.RunUntil(time.Second)

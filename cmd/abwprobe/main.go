@@ -11,9 +11,16 @@
 //
 //	abwprobe -mode send -to host:9876 -tool pathload -min 1 -max 900
 //
+// Simulated scenario (any tool against a cataloged condition, with the
+// ground truth printed alongside the estimate):
+//
+//	abwprobe -mode sim -scenario bursty -tool spruce
+//	abwprobe -scenarios                  # the scenario catalog
+//
 // Direct-probing tools need -capacity, the tight-link capacity in Mbps
 // — mind the paper's pitfall about measuring it with capacity tools,
-// which report the narrow link.
+// which report the narrow link. In -mode sim the scenario's true
+// tight-link capacity is used when -capacity is absent.
 //
 // Exit codes: 0 on success, 1 when the estimation itself fails, 2 on
 // usage errors (unknown tool, missing required flag).
@@ -41,11 +48,13 @@ const (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "", "recv or send")
+		mode     = flag.String("mode", "", "recv, send, or sim")
 		listen   = flag.String("listen", "0.0.0.0:9876", "receiver control address")
 		to       = flag.String("to", "", "receiver address to probe toward")
 		tool     = flag.String("tool", "pathload", "estimation technique (see -tools)")
 		tools    = flag.Bool("tools", false, "list the registered tools and exit")
+		scens    = flag.Bool("scenarios", false, "list the cataloged simulated scenarios and exit")
+		scenName = flag.String("scenario", "canonical", "cataloged scenario for -mode sim (see -scenarios)")
 		minMbps  = flag.Float64("min", 1, "minimum probing rate (Mbps)")
 		maxMbps  = flag.Float64("max", 500, "maximum probing rate (Mbps)")
 		capMbps  = flag.Float64("capacity", 0, "tight-link capacity (Mbps), for direct-probing tools")
@@ -65,17 +74,15 @@ func main() {
 		printTools()
 		return
 	}
-	switch *mode {
-	case "recv":
-		recv(*listen)
-	case "send":
-		if *to == "" {
-			usageErr("send mode needs -to host:port")
-		}
+	if *scens {
+		printScenarios()
+		return
+	}
+	mkParams := func() abw.Params {
 		if *minMbps <= 0 || *maxMbps <= *minMbps {
 			usageErr("need 0 < -min < -max (got %g, %g)", *minMbps, *maxMbps)
 		}
-		params := abw.Params{
+		return abw.Params{
 			RateLo:    abw.Rate(*minMbps * 1e6),
 			RateHi:    abw.Rate(*maxMbps * 1e6),
 			Capacity:  abw.Rate(*capMbps * 1e6),
@@ -90,9 +97,19 @@ func main() {
 				MaxDuration: *budgetD,
 			},
 		}
-		send(*to, *tool, params, *jsonOut, *progress)
+	}
+	switch *mode {
+	case "recv":
+		recv(*listen)
+	case "send":
+		if *to == "" {
+			usageErr("send mode needs -to host:port")
+		}
+		send(*to, *tool, mkParams(), *jsonOut, *progress)
+	case "sim":
+		simulate(*scenName, *tool, mkParams(), *jsonOut, *progress)
 	default:
-		usageErr("pick -mode recv or -mode send")
+		usageErr("pick -mode recv, -mode send, or -mode sim")
 	}
 }
 
@@ -137,6 +154,81 @@ func flagFor(field string) string {
 		return "-seed"
 	}
 	return field
+}
+
+func printScenarios() {
+	fmt.Println("Cataloged simulated scenarios (-mode sim -scenario <name>):")
+	for _, d := range abw.Scenarios() {
+		name := d.Name
+		if len(d.Aliases) > 0 {
+			name += " (" + strings.Join(d.Aliases, ", ") + ")"
+		}
+		fmt.Printf("  %-32s %s\n", name, d.Summary)
+	}
+}
+
+// flagWasSet reports whether the named flag was given explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// simulate runs the tool against a cataloged scenario: the same
+// registry path as a live run, but with exact ground truth to judge
+// the estimate against.
+func simulate(scenarioName, tool string, params abw.Params, jsonOut, progress bool) {
+	d, ok := abw.LookupTool(tool)
+	if !ok {
+		usageErr("unknown tool %q (see -tools)", tool)
+	}
+	sc, err := abw.NewScenario(scenarioName)
+	if err != nil {
+		usageErr("%v (see -scenarios)", err)
+	}
+	// Scenario ground truth fills what the flags left out: the true
+	// tight-link capacity, and a probing bracket derived from it.
+	if !flagWasSet("min") && !flagWasSet("max") {
+		params.RateLo, params.RateHi = 0, 0
+	}
+	if params.Capacity == 0 {
+		params.Capacity = sc.Capacity
+	}
+	if progress {
+		params.Observer = func(ev abw.StreamEvent) {
+			fmt.Fprintf(os.Stderr, "  stream %d: %d pkts (%d lost) at %v\n",
+				ev.Stream, ev.Packets, ev.Lost, ev.At.Round(time.Millisecond))
+		}
+	}
+	if !jsonOut {
+		fmt.Printf("abwprobe: running %s on scenario %q (%d hops, true avail-bw %.2f Mbps",
+			d.Name, sc.Name, sc.Hops(), sc.TrueAvailBw.MbpsOf())
+		if sc.TightLink != sc.NarrowLink {
+			fmt.Printf("; tight link %d ≠ narrow link %d", sc.TightLink, sc.NarrowLink)
+		}
+		fmt.Println(")")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := abw.Estimate(ctx, d.Name, params, sc.Transport)
+	if err != nil {
+		if jsonOut {
+			printJSON(d.Name, rep, err)
+		}
+		fmt.Fprintf(os.Stderr, "abwprobe: %v\n", err)
+		os.Exit(exitEstim)
+	}
+	if jsonOut {
+		printJSON(d.Name, rep, nil)
+		return
+	}
+	fmt.Println(rep)
+	errPct := 100 * (rep.Point.MbpsOf() - sc.TrueAvailBw.MbpsOf()) / sc.TrueAvailBw.MbpsOf()
+	fmt.Printf("  true avail-bw: %.2f Mbps (estimate off by %+.1f%%)\n", sc.TrueAvailBw.MbpsOf(), errPct)
 }
 
 func recv(listen string) {

@@ -12,11 +12,14 @@
 //
 //	report, err := abw.Estimate(ctx, "pathload", abw.Params{...}, transport)
 //
-// where the transport is a simulated path (NewScenario) or live UDP
+// where the transport is a simulated path (NewScenario, from a
+// declarative ScenarioSpec or a cataloged scenario name) or live UDP
 // sockets (ListenReceiver/DialReceiver). Runs honor ctx cancellation at
 // stream boundaries, accept a uniform probing Budget enforced below
 // every tool, and report per-stream progress through an Observer.
-// abw.Tools() lists the registered techniques and their requirements.
+// abw.Tools() lists the registered techniques and their requirements;
+// abw.Scenarios() lists the cataloged simulated conditions — every
+// pitfall of the paper as a nameable, reproducible scenario.
 //
 // Entry points:
 //

@@ -33,13 +33,17 @@ func main() {
 	fmt.Println()
 	fmt.Printf("%-15s %-12s %-20s\n", "cross traffic", "estimate", "sample range (Mbps)")
 	for _, m := range models {
-		sc := abw.NewScenario(abw.ScenarioOptions{
-			Capacity:  capacity,
-			CrossRate: crossRate,
-			Model:     m.model,
-			Horizon:   5 * time.Minute,
-			Seed:      3,
+		sc, err := abw.NewScenario(abw.ScenarioSpec{
+			Horizon: 5 * time.Minute,
+			Seed:    abw.Seed(3),
+			Hops: []abw.Hop{{
+				Capacity: capacity,
+				Traffic:  []abw.Source{{Kind: m.model, Rate: crossRate}},
+			}},
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		rep, err := abw.Estimate(context.Background(), "delphi", abw.Params{
 			Capacity: sc.Capacity,
 		}, sc.Transport)

@@ -16,14 +16,21 @@ import (
 
 func main() {
 	// A single 50 Mbps tight link carrying 25 Mbps of Poisson cross
-	// traffic: the true avail-bw is 25 Mbps.
-	sc := abw.NewScenario(abw.ScenarioOptions{
-		Capacity:  50 * abw.Mbps,
-		CrossRate: 25 * abw.Mbps,
-		Model:     abw.Poisson,
-		Horizon:   2 * time.Minute,
-		Seed:      42,
+	// traffic: the true avail-bw is 25 Mbps. A spec is declarative —
+	// heterogeneous hops and mixed traffic are the same shape — and
+	// abw.NewScenario also accepts a catalog name ("bursty", "lrd",
+	// ...; see abw.Scenarios()).
+	sc, err := abw.NewScenario(abw.ScenarioSpec{
+		Horizon: 2 * time.Minute,
+		Seed:    abw.Seed(42),
+		Hops: []abw.Hop{{
+			Capacity: 50 * abw.Mbps,
+			Traffic:  []abw.Source{{Kind: abw.Poisson, Rate: 25 * abw.Mbps}},
+		}},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The transport hides whether the path is simulated or real; every
 	// registered estimator runs over it unchanged, named by the tool

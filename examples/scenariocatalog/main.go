@@ -1,0 +1,50 @@
+// Scenariocatalog: walk the named scenario catalog — every pitfall
+// condition of the paper as a one-line lookup — and run direct probing
+// against each, comparing the estimate with the scenario's exact
+// ground truth. Scenarios where the tight link is not the narrow link
+// are flagged: that is where capacity-fed tools go wrong (pitfall #5).
+//
+//	go run ./examples/scenariocatalog
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"abw"
+)
+
+func main() {
+	fmt.Println("The scenario catalog, probed by Delphi (direct probing, true")
+	fmt.Println("tight-link capacity supplied — the best case the paper grants it):")
+	fmt.Println()
+	fmt.Printf("%-17s %-5s %-8s %-10s %-13s %s\n",
+		"scenario", "hops", "true A", "estimate", "tight=narrow", "summary")
+	for _, info := range abw.Scenarios() {
+		sc, err := abw.NewScenario(info.Name)
+		if err != nil {
+			fmt.Printf("%-17s error: %v\n", info.Name, err)
+			continue
+		}
+		rep, err := abw.Estimate(context.Background(), "delphi", abw.Params{
+			Capacity: sc.Capacity,
+		}, sc.Transport)
+		est := "error"
+		if err == nil {
+			est = fmt.Sprintf("%.2f", rep.Point.MbpsOf())
+		}
+		eq := "yes"
+		if sc.TightLink != sc.NarrowLink {
+			eq = "NO"
+		}
+		summary := info.Summary
+		if len(summary) > 48 {
+			summary = summary[:45] + "..."
+		}
+		fmt.Printf("%-17s %-5d %-8.2f %-10s %-13s %s\n",
+			info.Name, sc.Hops(), sc.TrueAvailBw.MbpsOf(), est, eq, summary)
+	}
+	fmt.Println()
+	fmt.Println("run `go run ./cmd/abwsim -exp matrix` for every registered tool")
+	fmt.Println("against every scenario, with deterministic parallel execution.")
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"abw"
@@ -25,13 +26,18 @@ const (
 // identical (same seed) cross traffic rather than leftovers of the
 // previous tool's probing.
 func scenario() abw.Transport {
-	return abw.NewScenario(abw.ScenarioOptions{
-		Capacity:  capacity,
-		CrossRate: crossRate,
-		Model:     abw.Poisson,
-		Horizon:   10 * time.Minute,
-		Seed:      7,
-	}).Transport
+	sc, err := abw.NewScenario(abw.ScenarioSpec{
+		Horizon: 10 * time.Minute,
+		Seed:    abw.Seed(7),
+		Hops: []abw.Hop{{
+			Capacity: capacity,
+			Traffic:  []abw.Source{{Kind: abw.Poisson, Rate: crossRate}},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sc.Transport
 }
 
 func main() {

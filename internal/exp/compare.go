@@ -8,7 +8,7 @@ import (
 	"abw/internal/core"
 	"abw/internal/rng"
 	"abw/internal/runner"
-	"abw/internal/sim"
+	"abw/internal/scenario"
 	"abw/internal/tools/registry"
 	"abw/internal/unit"
 )
@@ -69,12 +69,19 @@ func CompareTools(cfg CompareConfig) (*CompareResult, error) {
 	c := cfg.withDefaults()
 	res := &CompareResult{Config: c, TrueAvailBw: c.Capacity - c.CrossRate}
 
-	scenario := func() *core.SimTransport {
-		s := sim.New()
-		link := s.NewLink("tight", c.Capacity, time.Millisecond)
-		path := sim.MustPath(link)
-		mkModel(c.Model, c.CrossRate, rng.New(c.Seed)).Run(s, path.Route(), 0, 10*time.Minute)
-		return core.NewSimTransport(s, path)
+	build := func() (*core.SimTransport, error) {
+		cpl, err := scenario.Compile(scenario.Spec{
+			Horizon: 10 * time.Minute,
+			Seed:    scenario.Seed(c.Seed),
+			Hops: []scenario.Hop{{
+				Capacity: c.Capacity,
+				Traffic:  []scenario.Source{crossSource(c.Model, c.CrossRate)},
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return cpl.Transport, nil
 	}
 
 	// The registry's end-to-end tools, in registration order; sim-only
@@ -91,11 +98,15 @@ func CompareTools(cfg CompareConfig) (*CompareResult, error) {
 	// not an experiment error.
 	entries, err := runner.All(len(tools), func(ti int) (CompareEntry, error) {
 		name := tools[ti]
+		tr, err := build()
+		if err != nil {
+			return CompareEntry{}, fmt.Errorf("exp: compare: %w", err)
+		}
 		rep, err := registry.Estimate(context.Background(), name, registry.Params{
 			Capacity: c.Capacity,
 			Rand:     rng.New(c.Seed + 1),
 			Budget:   c.Budget,
-		}, scenario())
+		}, tr)
 		return CompareEntry{Outcome: core.NewOutcome(name, rep, err), Err: err}, nil
 	})
 	if err != nil {

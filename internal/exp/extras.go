@@ -5,13 +5,10 @@ import (
 	"math"
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/crosstraffic"
 	"abw/internal/fluid"
 	"abw/internal/probe"
-	"abw/internal/rng"
 	"abw/internal/runner"
-	"abw/internal/sim"
+	"abw/internal/scenario"
 	"abw/internal/stats"
 	"abw/internal/unit"
 )
@@ -94,15 +91,20 @@ func LatencyAccuracy(cfg LatencyAccuracyConfig) (*LatencyAccuracyResult, error) 
 		ni := job / c.Trials % len(c.Counts)
 		trial := job % c.Trials
 		d, n := c.Durations[di], c.Counts[ni]
-		s := sim.New()
-		link := s.NewLink("tight", c.Capacity, time.Millisecond)
-		path := sim.MustPath(link)
-		root := rng.New(c.Seed + uint64(di*1000+ni*100+trial))
 		spec := probe.PeriodicForDuration(c.ProbeRate, 1500, d)
 		horizon := time.Duration(n+2)*(2*spec.Duration()+20*time.Millisecond) + time.Second
-		crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate}, root.Split("cross")).
-			Run(s, path.Route(), 0, horizon)
-		tp := core.NewSimTransport(s, path)
+		cpl, err := scenario.Compile(scenario.Spec{
+			Horizon: horizon,
+			Seed:    scenario.Seed(c.Seed + uint64(di*1000+ni*100+trial)),
+			Hops: []scenario.Hop{{
+				Capacity: c.Capacity,
+				Traffic:  []scenario.Source{{Kind: scenario.Poisson, Rate: c.CrossRate, SplitLabel: "cross"}},
+			}},
+		})
+		if err != nil {
+			return trialOut{}, fmt.Errorf("exp: latency-accuracy: %w", err)
+		}
+		tp := cpl.Transport
 		tp.Spacing = 10 * time.Millisecond
 		t0 := tp.Now()
 		var samples []float64
@@ -239,18 +241,22 @@ type NarrowVsTightResult struct {
 // estimate.
 func NarrowVsTight(cfg NarrowVsTightConfig) (*NarrowVsTightResult, error) {
 	c := cfg.withDefaults()
-	s := sim.New()
-	narrow := s.NewLink("narrow", c.NarrowCapacity, time.Millisecond)
-	tight := s.NewLink("tight", c.TightCapacity, time.Millisecond)
-	path := sim.MustPath(narrow, tight)
-	root := rng.New(c.Seed)
 	spec := probe.Periodic(c.ProbeRate, 1500, c.TrainLen)
 	horizon := time.Duration(c.Trains+2) * (2*spec.Duration() + 100*time.Millisecond)
-	crosstraffic.Poisson(crosstraffic.Stream{Rate: c.NarrowCross, Flow: 1}, root.Split("narrow")).
-		Run(s, []*sim.Link{narrow}, 0, horizon)
-	crosstraffic.Poisson(crosstraffic.Stream{Rate: c.TightCross, Flow: 2}, root.Split("tight")).
-		Run(s, []*sim.Link{tight}, 0, horizon)
-	tp := core.NewSimTransport(s, path)
+	cpl, err := scenario.Compile(scenario.Spec{
+		Horizon: horizon,
+		Seed:    scenario.Seed(c.Seed),
+		Hops: []scenario.Hop{
+			{Capacity: c.NarrowCapacity, Traffic: []scenario.Source{
+				{Kind: scenario.Poisson, Rate: c.NarrowCross, SplitLabel: "narrow", Flow: 1}}},
+			{Capacity: c.TightCapacity, Traffic: []scenario.Source{
+				{Kind: scenario.Poisson, Rate: c.TightCross, SplitLabel: "tight", Flow: 2}}},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: narrow-vs-tight: %w", err)
+	}
+	tp := cpl.Transport
 	var withTight, withNarrow []float64
 	for i := 0; i < c.Trains; i++ {
 		rec, err := tp.Probe(spec)

@@ -4,12 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/crosstraffic"
 	"abw/internal/fluid"
 	"abw/internal/probe"
-	"abw/internal/rng"
 	"abw/internal/runner"
+	"abw/internal/scenario"
 	"abw/internal/sim"
 	"abw/internal/stats"
 	"abw/internal/unit"
@@ -86,11 +84,6 @@ func Figure2(cfg Figure2Config) (*Figure2Result, error) {
 	res := &Figure2Result{Config: c}
 	points, err := runner.All(len(c.Durations), func(di int) (Figure2Point, error) {
 		d := c.Durations[di]
-		s := sim.New()
-		link := s.NewLink("tight", c.Capacity, time.Millisecond)
-		rec := sim.NewRecorder(c.Capacity)
-		link.Attach(rec)
-		path := sim.MustPath(link)
 		spec := probe.PeriodicForDuration(c.ProbeRate, c.PktSize, d)
 		// Horizon: generous upper bound on the virtual time the probing
 		// loop can consume (spacing + stream + resolution slack per
@@ -98,10 +91,19 @@ func Figure2(cfg Figure2Config) (*Figure2Result, error) {
 		spacing := spec.Duration() + 40*time.Millisecond
 		perStream := spacing + spec.Duration() + 100*time.Millisecond
 		horizon := time.Duration(c.Streams+3) * perStream
-		root := rng.New(c.Seed + uint64(di))
-		crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate}, root.Split("cross")).
-			Run(s, path.Route(), 0, horizon)
-		tp := core.NewSimTransport(s, path)
+		cpl, err := scenario.Compile(scenario.Spec{
+			Horizon: horizon,
+			Seed:    scenario.Seed(c.Seed + uint64(di)),
+			Hops: []scenario.Hop{{
+				Capacity: c.Capacity,
+				Traffic:  []scenario.Source{{Kind: scenario.Poisson, Rate: c.CrossRate, SplitLabel: "cross"}},
+			}},
+		})
+		if err != nil {
+			return Figure2Point{}, fmt.Errorf("exp: figure2: %w", err)
+		}
+		rec := cpl.Recorders[0]
+		tp := cpl.Transport
 		tp.Spacing = spacing
 		samples := make([]float64, 0, c.Streams)
 		for i := 0; i < c.Streams; i++ {

@@ -4,12 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/crosstraffic"
 	"abw/internal/probe"
-	"abw/internal/rng"
 	"abw/internal/runner"
-	"abw/internal/sim"
+	"abw/internal/scenario"
 	"abw/internal/stats"
 	"abw/internal/unit"
 )
@@ -103,14 +100,20 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 	ratios, err := runner.All(len(c.Models)*len(c.Rates), func(job int) (float64, error) {
 		mi, riIdx := job/len(c.Rates), job%len(c.Rates)
 		model, ri := c.Models[mi], c.Rates[riIdx]
-		s := sim.New()
-		link := s.NewLink("tight", c.Capacity, time.Millisecond)
-		path := sim.MustPath(link)
-		root := rng.New(c.Seed + uint64(mi)*10000 + uint64(riIdx)*100)
 		spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
 		horizon := time.Duration(c.Streams+4) * (2*spec.Duration() + 100*time.Millisecond)
-		mkModel(model, c.CrossRate, root).Run(s, path.Route(), 0, horizon)
-		tp := core.NewSimTransport(s, path)
+		cpl, err := scenario.Compile(scenario.Spec{
+			Horizon: horizon,
+			Seed:    scenario.Seed(c.Seed + uint64(mi)*10000 + uint64(riIdx)*100),
+			Hops: []scenario.Hop{{
+				Capacity: c.Capacity,
+				Traffic:  []scenario.Source{crossSource(model, c.CrossRate)},
+			}},
+		})
+		if err != nil {
+			return 0, fmt.Errorf("exp: figure3: %w", err)
+		}
+		tp := cpl.Transport
 		tp.Spacing = spec.Duration() + 20*time.Millisecond
 		var ratios []float64
 		for i := 0; i < c.Streams; i++ {
@@ -138,15 +141,18 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 	return res, nil
 }
 
-func mkModel(m CrossModel, rate unit.Rate, root *rng.Rand) crosstraffic.Model {
-	cfg := crosstraffic.Stream{Rate: rate}
+// crossSource maps a Figure 3 cross model onto a scenario source. The
+// SplitLabel overrides pin the rng derivation labels these experiments
+// used before the scenario subsystem existed, so their numbers are
+// bit-identical across the refactor.
+func crossSource(m CrossModel, rate unit.Rate) scenario.Source {
 	switch m {
 	case ModelPoisson:
-		return crosstraffic.Poisson(cfg, root.Split("poisson"))
+		return scenario.Source{Kind: scenario.Poisson, Rate: rate, SplitLabel: "poisson"}
 	case ModelPareto:
-		return crosstraffic.ParetoOnOff(crosstraffic.ParetoOnOffConfig{Stream: cfg, OffCap: 200}, root.Split("pareto"))
+		return scenario.Source{Kind: scenario.ParetoOnOff, Rate: rate, SplitLabel: "pareto"}
 	default:
-		return crosstraffic.CBR(cfg)
+		return scenario.Source{Kind: scenario.CBR, Rate: rate}
 	}
 }
 
@@ -241,20 +247,23 @@ func Figure4(cfg Figure4Config) (*Figure4Result, error) {
 	ratios, err := runner.All(len(c.TightLinks)*len(c.Rates), func(job int) (float64, error) {
 		hi, riIdx := job/len(c.Rates), job%len(c.Rates)
 		hops, ri := c.TightLinks[hi], c.Rates[riIdx]
-		s := sim.New()
-		links := make([]*sim.Link, hops)
-		for i := range links {
-			links[i] = s.NewLink(fmt.Sprintf("hop%d", i), c.Capacity, time.Millisecond)
-		}
-		path := sim.MustPath(links...)
-		root := rng.New(c.Seed + uint64(hi)*100000 + uint64(riIdx)*100)
 		spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
 		horizon := time.Duration(c.Streams+4) * (2*spec.Duration() + 100*time.Millisecond)
-		crosstraffic.OnePersistentPerHop(s, path, 0, horizon, func(hop int) crosstraffic.Model {
-			return crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate, Flow: hop},
-				root.Split(fmt.Sprintf("hop%d", hop)))
-		})
-		tp := core.NewSimTransport(s, path)
+		sp := scenario.Spec{
+			Horizon: horizon,
+			Seed:    scenario.Seed(c.Seed + uint64(hi)*100000 + uint64(riIdx)*100),
+		}
+		for h := 0; h < hops; h++ {
+			sp.Hops = append(sp.Hops, scenario.Hop{
+				Capacity: c.Capacity,
+				Traffic:  []scenario.Source{{Kind: scenario.Poisson, Rate: c.CrossRate}},
+			})
+		}
+		cpl, err := scenario.Compile(sp)
+		if err != nil {
+			return 0, fmt.Errorf("exp: figure4: %w", err)
+		}
+		tp := cpl.Transport
 		tp.Spacing = spec.Duration() + 20*time.Millisecond
 		var ratios []float64
 		for i := 0; i < c.Streams; i++ {

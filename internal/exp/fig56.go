@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"abw/internal/crosstraffic"
 	"abw/internal/probe"
 	"abw/internal/rng"
 	"abw/internal/runner"
+	"abw/internal/scenario"
 	"abw/internal/sim"
 	"abw/internal/stats"
 	"abw/internal/trace"
@@ -87,16 +87,22 @@ func Figure5(cfg Figure5Config) (*Figure5Result, error) {
 	res := &Figure5Result{Config: c, TrueA: (c.Capacity - c.CrossRate).MbpsOf()}
 
 	run := func(ri unit.Rate, burst bool, label string) (Figure5Stream, error) {
-		s := sim.New()
-		link := s.NewLink("tight", c.Capacity, time.Millisecond)
-		path := sim.MustPath(link)
 		spec := probe.Periodic(ri, c.PktSize, c.StreamLen)
 		start := 200 * time.Millisecond
 		horizon := start + spec.Duration() + 2*time.Second
 		// Smooth baseline cross traffic (small packets so it is nearly
 		// fluid; the burst below provides the bursty event).
-		crosstraffic.CBR(crosstraffic.Stream{Rate: c.CrossRate, Sizes: rng.FixedSize(300)}).
-			Run(s, path.Route(), 0, horizon)
+		cpl, err := scenario.Compile(scenario.Spec{
+			Horizon: horizon,
+			Hops: []scenario.Hop{{
+				Capacity: c.Capacity,
+				Traffic:  []scenario.Source{{Kind: scenario.CBR, Rate: c.CrossRate, PktSize: 300}},
+			}},
+		})
+		if err != nil {
+			return Figure5Stream{}, fmt.Errorf("exp: figure5: %w", err)
+		}
+		s, path := cpl.Sim, cpl.Path
 		if burst {
 			// A dense burst arriving during the last ~10% of the stream.
 			burstStart := start + spec.Duration()*9/10

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"abw/internal/crosstraffic"
-	"abw/internal/rng"
 	"abw/internal/runner"
+	"abw/internal/scenario"
 	"abw/internal/sim"
 	"abw/internal/tcp"
 	"abw/internal/unit"
@@ -126,22 +125,31 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 	thru, err := runner.All(len(c.CrossTypes)*len(c.Windows), func(job int) (float64, error) {
 		ci, wi := job/len(c.Windows), job%len(c.Windows)
 		ct, wr := c.CrossTypes[ci], c.Windows[wi]
-		s := sim.New()
-		fwd := s.NewLink("bottleneck", c.Capacity, c.RTTProp/2)
-		fwd.BufferBytes = unit.Bytes(c.BufferPkts) * 1500
-		rev := s.NewLink("reverse", unit.Gbps, c.RTTProp/2)
-		root := rng.New(c.Seed + uint64(ci)*100000 + uint64(wi)*100)
-		fwdRoute := []*sim.Link{fwd}
-		revRoute := []*sim.Link{rev}
-		if err := startFig7Cross(s, ct, c, fwdRoute, revRoute, root); err != nil {
+		src, err := fig7Source(ct, c)
+		if err != nil {
 			return 0, fmt.Errorf("exp: figure7: %w", err)
 		}
-		bulk, err := tcp.New(s, fwdRoute, revRoute, 1, tcp.Config{RcvWnd: wr})
+		cpl, err := scenario.Compile(scenario.Spec{
+			Horizon:          c.Duration + time.Second,
+			Seed:             scenario.Seed(c.Seed + uint64(ci)*100000 + uint64(wi)*100),
+			WithReverse:      true,
+			ReversePropDelay: c.RTTProp / 2,
+			Hops: []scenario.Hop{{
+				Capacity:  c.Capacity,
+				Buffer:    unit.Bytes(c.BufferPkts) * 1500,
+				PropDelay: c.RTTProp / 2,
+				Traffic:   []scenario.Source{src},
+			}},
+		})
+		if err != nil {
+			return 0, fmt.Errorf("exp: figure7: %w", err)
+		}
+		bulk, err := tcp.New(cpl.Sim, cpl.Path.Route(), []*sim.Link{cpl.Reverse}, 1, tcp.Config{RcvWnd: wr})
 		if err != nil {
 			return 0, fmt.Errorf("exp: figure7: %w", err)
 		}
 		bulk.Start(time.Second)
-		s.RunUntil(c.Duration)
+		cpl.Sim.RunUntil(c.Duration)
 		warmup := c.Duration / 4
 		return bulk.Throughput(warmup, c.Duration).MbpsOf(), nil
 	})
@@ -159,20 +167,22 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 	return res, nil
 }
 
-// startFig7Cross installs the chosen cross traffic on the bottleneck.
-func startFig7Cross(s *sim.Sim, ct Figure7CrossType, c Figure7Config, fwd, rev []*sim.Link, root *rng.Rand) error {
-	horizon := c.Duration + time.Second
+// fig7Source maps the chosen cross-traffic type onto a scenario
+// source. The SplitLabel overrides pin the rng labels this experiment
+// used before the scenario subsystem, keeping its numbers
+// bit-identical.
+func fig7Source(ct Figure7CrossType, c Figure7Config) (scenario.Source, error) {
 	switch ct {
 	case CrossParetoUDP:
-		crosstraffic.ParetoArrivals(crosstraffic.Stream{Rate: c.CrossRate, Flow: 500}, 1.9, root.Split("udp")).
-			Run(s, fwd, 0, horizon)
-		return nil
+		return scenario.Source{
+			Kind: scenario.ParetoArrivals, Rate: c.CrossRate,
+			Shape: 1.9, SplitLabel: "udp", Flow: 500,
+		}, nil
 	case CrossSizeLimited:
-		mice, err := tcp.NewMice(tcp.MiceConfig{OfferedLoad: c.CrossRate})
-		if err != nil {
-			return err
-		}
-		return mice.Run(s, fwd, rev, 0, horizon, 1000, root.Split("mice"))
+		return scenario.Source{
+			Kind: scenario.Mice, Rate: c.CrossRate,
+			SplitLabel: "mice", Flow: 1000,
+		}, nil
 	case CrossBufferLimited:
 		// Windows sized so the aggregate uses ~CrossRate when alone:
 		// per-conn rate = Wr·MSS·8/RTT.
@@ -181,16 +191,12 @@ func startFig7Cross(s *sim.Sim, ct Figure7CrossType, c Figure7Config, fwd, rev [
 		if wr < 2 {
 			wr = 2
 		}
-		for i := 0; i < c.CrossConns; i++ {
-			conn, err := tcp.New(s, fwd, rev, 100+i, tcp.Config{RcvWnd: wr})
-			if err != nil {
-				return err
-			}
-			conn.Start(time.Duration(i) * 50 * time.Millisecond)
-		}
-		return nil
+		return scenario.Source{
+			Kind: scenario.BufferLimitedTCP, Rate: c.CrossRate,
+			Conns: c.CrossConns, Window: wr, Flow: 100,
+		}, nil
 	default:
-		return fmt.Errorf("unknown cross type %q", ct)
+		return scenario.Source{}, fmt.Errorf("unknown cross type %q", ct)
 	}
 }
 

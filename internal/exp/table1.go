@@ -5,13 +5,10 @@ import (
 	"math"
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/crosstraffic"
 	"abw/internal/fluid"
 	"abw/internal/probe"
-	"abw/internal/rng"
 	"abw/internal/runner"
-	"abw/internal/sim"
+	"abw/internal/scenario"
 	"abw/internal/unit"
 )
 
@@ -99,16 +96,21 @@ func Table1(cfg Table1Config) (*Table1Result, error) {
 	// job is the whole cross-size column, seeded by its index.
 	cells, err := runner.All(len(c.CrossSizes), func(li int) ([]Table1Cell, error) {
 		lc := c.CrossSizes[li]
-		s := sim.New()
-		link := s.NewLink("tight", c.Capacity, time.Millisecond)
-		path := sim.MustPath(link)
-		root := rng.New(c.Seed + uint64(li)*1000)
 		// Pairs are spaced 5 ms apart; a trial of maxK pairs spans
 		// maxK*5ms.
 		horizon := time.Duration(c.Trials+2) * time.Duration(maxK+5) * 5 * time.Millisecond * 2
-		crosstraffic.Poisson(crosstraffic.Stream{Rate: c.CrossRate, Sizes: rng.FixedSize(int(lc))}, root.Split("cross")).
-			Run(s, path.Route(), 0, horizon)
-		tp := core.NewSimTransport(s, path)
+		cpl, err := scenario.Compile(scenario.Spec{
+			Horizon: horizon,
+			Seed:    scenario.Seed(c.Seed + uint64(li)*1000),
+			Hops: []scenario.Hop{{
+				Capacity: c.Capacity,
+				Traffic:  []scenario.Source{{Kind: scenario.Poisson, Rate: c.CrossRate, PktSize: lc, SplitLabel: "cross"}},
+			}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: table1: %w", err)
+		}
+		tp := cpl.Transport
 		tp.Spacing = 5 * time.Millisecond
 		// Collect Trials × maxK pair samples, then form sample means for
 		// each k from disjoint consecutive blocks.

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/unit"
+)
+
+// Descriptor names one cataloged scenario, mirroring the estimator
+// registry: everything a caller needs to present the scenario and to
+// compile it.
+type Descriptor struct {
+	// Name is the canonical scenario name ("canonical", "bursty", ...).
+	Name string
+	// Aliases are alternative lookup names.
+	Aliases []string
+	// Summary is a one-line description for CLI catalogs.
+	Summary string
+	// Spec is the declarative scenario; Compile realizes it.
+	Spec Spec
+}
+
+// Compile realizes the cataloged spec.
+func (d Descriptor) Compile() (*Compiled, error) { return Compile(d.Spec) }
+
+// CompileSeeded realizes the cataloged spec under an explicit seed,
+// leaving the registered Spec untouched.
+func (d Descriptor) CompileSeeded(seed uint64) (*Compiled, error) {
+	sp := d.Spec
+	sp.Seed = Seed(seed)
+	return Compile(sp)
+}
+
+// catalog holds the registered scenarios in registration order — the
+// canonical presentation order used by CLIs and the matrix experiment.
+var catalog []Descriptor
+
+// Register adds a scenario to the catalog. It panics on a missing
+// name/spec or a name/alias collision: registration happens at init
+// time from this package only, so a collision is a programming error.
+func Register(d Descriptor) {
+	if d.Name == "" || len(d.Spec.Hops) == 0 {
+		panic("scenario: descriptor needs a name and a non-empty spec")
+	}
+	for _, name := range append([]string{d.Name}, d.Aliases...) {
+		if _, ok := Lookup(name); ok {
+			panic(fmt.Sprintf("scenario: duplicate scenario name %q", name))
+		}
+	}
+	catalog = append(catalog, d)
+}
+
+// Catalog returns the registered scenarios in registration order.
+func Catalog() []Descriptor {
+	out := make([]Descriptor, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Names returns the canonical scenario names in registration order.
+func Names() []string {
+	names := make([]string, len(catalog))
+	for i, d := range catalog {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Lookup finds a scenario by canonical name or alias.
+func Lookup(name string) (Descriptor, bool) {
+	for _, d := range catalog {
+		if d.Name == name {
+			return d, true
+		}
+		for _, a := range d.Aliases {
+			if a == name {
+				return d, true
+			}
+		}
+	}
+	return Descriptor{}, false
+}
+
+// The catalog: every pitfall condition of the paper as a nameable
+// scenario. All entries use a 10-minute horizon — the lazy source
+// models cost nothing beyond the virtual time a run actually consumes
+// — and the default seed unless compiled with CompileSeeded.
+func init() {
+	hop := func(capacity unit.Rate, srcs ...Source) Hop {
+		return Hop{Capacity: capacity, Traffic: srcs}
+	}
+	long := 10 * time.Minute
+
+	Register(Descriptor{
+		Name:    "canonical",
+		Aliases: []string{"default", "single-hop"},
+		Summary: "the paper's canonical setting: 50 Mbps tight link, 25 Mbps CBR cross traffic",
+		Spec: Spec{
+			Horizon: long,
+			Hops:    []Hop{hop(50*unit.Mbps, Source{Kind: CBR, Rate: 25 * unit.Mbps})},
+		},
+	})
+	Register(Descriptor{
+		Name:    "poisson",
+		Summary: "canonical path with Poisson cross traffic at the same 25 Mbps mean",
+		Spec: Spec{
+			Horizon: long,
+			Hops:    []Hop{hop(50*unit.Mbps, Source{Kind: Poisson, Rate: 25 * unit.Mbps})},
+		},
+	})
+	Register(Descriptor{
+		Name:    "bursty",
+		Aliases: []string{"pareto"},
+		Summary: "Pareto ON-OFF cross traffic: equal mean, maximal burstiness (Figure 3's worst case)",
+		Spec: Spec{
+			Horizon: long,
+			Hops:    []Hop{hop(50*unit.Mbps, Source{Kind: ParetoOnOff, Rate: 25 * unit.Mbps})},
+		},
+	})
+	Register(Descriptor{
+		Name:    "lrd",
+		Aliases: []string{"selfsimilar"},
+		Summary: "long-range-dependent cross traffic (fGn-modulated, H=0.8): burstiness at every timescale",
+		Spec: Spec{
+			Horizon: long,
+			Hops:    []Hop{hop(50*unit.Mbps, Source{Kind: LRD, Rate: 25 * unit.Mbps})},
+		},
+	})
+	Register(Descriptor{
+		Name:    "mice",
+		Aliases: []string{"tcp-mice", "web"},
+		Summary: "congestion-responsive cross traffic: short TCP transfers at 25 Mbps offered load",
+		Spec: Spec{
+			Horizon: long,
+			Hops:    []Hop{hop(50*unit.Mbps, Source{Kind: Mice, Rate: 25 * unit.Mbps})},
+		},
+	})
+	Register(Descriptor{
+		Name:    "narrowtight",
+		Aliases: []string{"narrow-vs-tight"},
+		Summary: "tight link is not the narrow link: loaded 100 Mbps hop (A=20) before an idle-ish 50 Mbps hop (A=40)",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{
+				hop(unit.FastEthernet, Source{Kind: Poisson, Rate: 80 * unit.Mbps}),
+				hop(50*unit.Mbps, Source{Kind: Poisson, Rate: 10 * unit.Mbps}),
+			},
+		},
+	})
+	Register(Descriptor{
+		Name:    "multibottleneck",
+		Aliases: []string{"hetero"},
+		Summary: "three heterogeneous near-tight hops (A = 26/25/26 Mbps): Figure 4's compounding underestimation",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{
+				hop(60*unit.Mbps, Source{Kind: Poisson, Rate: 34 * unit.Mbps}),
+				hop(50*unit.Mbps, Source{Kind: ParetoOnOff, Rate: 25 * unit.Mbps}),
+				hop(40*unit.Mbps, Source{Kind: Poisson, Rate: 14 * unit.Mbps}),
+			},
+		},
+	})
+	Register(Descriptor{
+		Name:    "step",
+		Aliases: []string{"stepchange"},
+		Summary: "time-varying avail-bw: cross rate steps 10→35 Mbps mid-horizon (A: 40→15 Mbps)",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{hop(50*unit.Mbps, Source{
+				Kind:  Poisson,
+				Steps: []RateStep{{At: 0, Rate: 10 * unit.Mbps}, {At: 5 * time.Minute, Rate: 35 * unit.Mbps}},
+			})},
+		},
+	})
+	Register(Descriptor{
+		Name:    "postnarrow",
+		Aliases: []string{"post-narrow-queuing"},
+		Summary: "queuing after the narrow link: idle-ish 50 Mbps hop, then a loaded bursty 100 Mbps tight hop",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{
+				hop(50*unit.Mbps, Source{Kind: CBR, Rate: 5 * unit.Mbps}),
+				hop(unit.FastEthernet, Source{Kind: ParetoOnOff, Rate: 65 * unit.Mbps}),
+			},
+		},
+	})
+}

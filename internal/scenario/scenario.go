@@ -1,0 +1,564 @@
+// Package scenario is the declarative scenario subsystem: the single
+// place in the module where cross-traffic topologies are constructed.
+// A Spec describes a heterogeneous path — per-hop capacity, buffer and
+// propagation delay, each hop carrying an arbitrary mix of traffic
+// sources (CBR, Poisson, Pareto ON-OFF, Pareto interarrivals, LRD
+// trace replay, TCP mice, window-limited persistent TCP), optionally
+// with a piecewise-constant rate profile for step/ramp avail-bw — and
+// Compile realizes it on the discrete-event simulator with exact
+// per-hop ground truth: a Recorder per link (the paper's Equations
+// 1–3 at any timescale) and the tight-vs-narrow link distinction the
+// paper's fifth pitfall turns on.
+//
+// The named catalog (catalog.go) mirrors the estimator registry: every
+// condition the paper warns about is a nameable, reproducible scenario
+// that any tool can be pointed at.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/crosstraffic"
+	"abw/internal/rng"
+	"abw/internal/sim"
+	"abw/internal/tcp"
+	"abw/internal/trace"
+	"abw/internal/unit"
+)
+
+// Seed returns a pointer to v, for Spec.Seed: the pointer form makes
+// seed 0 a valid explicit seed (nil means the default seed 1).
+func Seed(v uint64) *uint64 { return &v }
+
+// DefaultSeed is the seed used when Spec.Seed is nil.
+const DefaultSeed uint64 = 1
+
+// Kind selects a traffic-source model.
+type Kind int
+
+// Traffic-source models.
+const (
+	// CBR is a perfectly periodic source: the closest packet-level
+	// approximation of the paper's fluid model.
+	CBR Kind = iota
+	// Poisson has exponential interarrivals at the configured mean rate.
+	Poisson
+	// ParetoOnOff is the paper's "most bursty" model: heavy-tailed
+	// ON-OFF bursts (Figure 3).
+	ParetoOnOff
+	// ParetoArrivals has Pareto interarrival times (Figure 7's
+	// unresponsive UDP cross traffic).
+	ParetoArrivals
+	// LRD replays a synthesized long-range-dependent packet trace
+	// (fGn rate-modulated, exactly known Hurst parameter), tiled over
+	// the horizon.
+	LRD
+	// Mice is an aggregate of short TCP transfers: Poisson flow
+	// arrivals, bounded-Pareto flow sizes (Figure 7's "size limited
+	// TCP").
+	Mice
+	// BufferLimitedTCP is a fixed set of persistent TCP connections
+	// capped by their advertised windows (Figure 7's "buffer limited
+	// TCP"). Rate is the nominal aggregate used for ground-truth
+	// accounting; the realized rate is congestion-responsive.
+	BufferLimitedTCP
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CBR:
+		return "CBR"
+	case Poisson:
+		return "Poisson"
+	case ParetoOnOff:
+		return "Pareto ON-OFF"
+	case ParetoArrivals:
+		return "Pareto interarrivals"
+	case LRD:
+		return "LRD trace"
+	case Mice:
+		return "TCP mice"
+	case BufferLimitedTCP:
+		return "buffer-limited TCP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// RateStep is one segment of a piecewise-constant rate profile: the
+// source emits at Rate from At until the next step (or the horizon).
+type RateStep struct {
+	At   time.Duration
+	Rate unit.Rate
+}
+
+// Source describes one traffic source on a hop. Zero fields take
+// defaults; only Kind-relevant fields are consulted.
+type Source struct {
+	// Kind selects the model.
+	Kind Kind
+	// Rate is the long-run mean rate. For Mice it is the offered load;
+	// for BufferLimitedTCP it is the nominal aggregate rate used for
+	// ground-truth accounting (the realized rate is elastic).
+	Rate unit.Rate
+	// Steps, if set, replaces Rate with a piecewise-constant profile
+	// (step/ramp avail-bw). The first step must be at 0. Only the
+	// packet models (CBR, Poisson, ParetoOnOff, ParetoArrivals)
+	// support profiles.
+	Steps []RateStep
+	// PktSize is the fixed packet size in bytes (default 1500).
+	PktSize unit.Bytes
+	// Sizes, if set, draws packet sizes and overrides PktSize.
+	Sizes rng.SizeDist
+	// Shape is the Pareto interarrival shape for ParetoArrivals
+	// (default 1.9).
+	Shape float64
+	// Hurst is the LRD envelope's Hurst parameter (default 0.8).
+	Hurst float64
+	// MeanFlowBytes is the Mice mean transfer size (default 40 kB).
+	MeanFlowBytes unit.Bytes
+	// Conns is the BufferLimitedTCP connection count (default 1).
+	Conns int
+	// Window is the BufferLimitedTCP per-connection receiver window in
+	// segments (default 32).
+	Window int
+	// SplitLabel overrides the rng derivation label (default
+	// "hop<h>" for a hop's first source, "hop<h>.<j>" for the rest).
+	// Experiments that predate this package pin their historical
+	// labels through it so their numbers stay bit-identical.
+	SplitLabel string
+	// Flow labels the source's packets (0 = auto: 1000+hop for a
+	// hop's first source). Purely diagnostic.
+	Flow int
+}
+
+// Hop is one store-and-forward link of the path with the traffic it
+// carries one-hop-persistently (enters at this link, exits after it —
+// the paper's Figure 4 pattern).
+type Hop struct {
+	// Capacity is the link's transmission rate (required).
+	Capacity unit.Rate
+	// Buffer bounds the queue in bytes (0 = unbounded).
+	Buffer unit.Bytes
+	// PropDelay is the propagation latency (default 1 ms).
+	PropDelay time.Duration
+	// Traffic is the set of sources entering at this hop.
+	Traffic []Source
+}
+
+// Spec is a declarative scenario: a heterogeneous path plus the
+// schedule of every traffic source on it. Compile realizes it.
+type Spec struct {
+	// Hops is the sender-to-receiver link sequence (at least one).
+	Hops []Hop
+	// Horizon is how long traffic is scheduled (default 120 s).
+	// Lazy models cost nothing beyond the virtual time actually
+	// consumed, so generous horizons are cheap.
+	Horizon time.Duration
+	// Seed seeds all randomness; nil means DefaultSeed. Seed(0) is a
+	// valid explicit seed.
+	Seed *uint64
+	// WithReverse forces a reverse (ack) link even when no TCP source
+	// needs one, for callers that run their own TCP over the path.
+	WithReverse bool
+	// ReverseCapacity is the reverse link capacity (default 1 Gbps).
+	ReverseCapacity unit.Rate
+	// ReversePropDelay is the reverse link propagation latency
+	// (default 1 ms).
+	ReversePropDelay time.Duration
+}
+
+// Compiled is a realized scenario: the simulation, the path with a
+// ground-truth Recorder per hop, a transport for probing, and the
+// analytic long-run truth derived from the spec.
+type Compiled struct {
+	// Spec is the defaults-resolved spec the scenario was built from.
+	Spec Spec
+	// Sim is the underlying simulation.
+	Sim *sim.Sim
+	// Path is the forward path.
+	Path *sim.Path
+	// Reverse is the ack link (nil unless a TCP source or WithReverse
+	// asked for one).
+	Reverse *sim.Link
+	// Recorders holds one ground-truth recorder per hop.
+	Recorders []*sim.Recorder
+	// Transport delivers probing streams over the path.
+	Transport *core.SimTransport
+	// TrueAvailBw is the analytic long-run avail-bw of the tight link:
+	// min over hops of capacity minus the hop's mean traffic rate.
+	TrueAvailBw unit.Rate
+	// Capacity is the tight-link capacity — what direct-probing tools
+	// need as Params.Capacity (and what capacity-estimation tools do
+	// NOT measure when the tight link is not the narrow one).
+	Capacity unit.Rate
+	// TightLink is the hop index with the minimum long-run avail-bw.
+	TightLink int
+	// NarrowLink is the hop index with the minimum capacity.
+	NarrowLink int
+}
+
+// AvailBw returns the measured ground-truth avail-bw of the given hop
+// over [from, from+window): the paper's A(t, t+τ) from the hop's
+// recorder.
+func (c *Compiled) AvailBw(hop int, from, window time.Duration) unit.Rate {
+	return c.Recorders[hop].AvailBw(from, window)
+}
+
+// AvailBwSeries samples hop's avail-bw process A_τ(t) on consecutive
+// windows covering [from, to).
+func (c *Compiled) AvailBwSeries(hop int, from, to, tau time.Duration) []unit.Rate {
+	return c.Recorders[hop].AvailBwSeries(from, to, tau)
+}
+
+// MustCompile is Compile that panics on error, for specs that are
+// compile-time constants (the catalog, test helpers).
+func MustCompile(spec Spec) *Compiled {
+	c, err := Compile(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Compile realizes the spec on a fresh simulation. Identical specs
+// (including seed) give identical packet-level behavior.
+func Compile(spec Spec) (*Compiled, error) {
+	if len(spec.Hops) == 0 {
+		return nil, fmt.Errorf("scenario: a spec needs at least one hop")
+	}
+	resolved := spec
+	if resolved.Horizon == 0 {
+		resolved.Horizon = 120 * time.Second
+	}
+	if resolved.Horizon < 0 {
+		return nil, fmt.Errorf("scenario: negative horizon %v", resolved.Horizon)
+	}
+	if resolved.ReverseCapacity == 0 {
+		resolved.ReverseCapacity = unit.Gbps
+	}
+	if resolved.ReversePropDelay == 0 {
+		resolved.ReversePropDelay = time.Millisecond
+	}
+	seed := DefaultSeed
+	if resolved.Seed != nil {
+		seed = *resolved.Seed
+	}
+
+	s := sim.New()
+	links := make([]*sim.Link, len(resolved.Hops))
+	recs := make([]*sim.Recorder, len(resolved.Hops))
+	needReverse := resolved.WithReverse
+	for h, hop := range resolved.Hops {
+		if hop.Capacity <= 0 {
+			return nil, fmt.Errorf("scenario: hop %d capacity %v must be positive", h, hop.Capacity)
+		}
+		prop := hop.PropDelay
+		if prop == 0 {
+			prop = time.Millisecond
+		}
+		links[h] = s.NewLink(fmt.Sprintf("hop%d", h), hop.Capacity, prop)
+		links[h].BufferBytes = hop.Buffer
+		recs[h] = sim.NewRecorder(hop.Capacity)
+		links[h].Attach(recs[h])
+		for _, src := range hop.Traffic {
+			if src.Kind == Mice || src.Kind == BufferLimitedTCP {
+				needReverse = true
+			}
+		}
+	}
+	path := sim.MustPath(links...)
+	var reverse *sim.Link
+	if needReverse {
+		reverse = s.NewLink("reverse", resolved.ReverseCapacity, resolved.ReversePropDelay)
+	}
+
+	// Source realization. The split order (hop-major, source-minor) and
+	// the default labels are a compatibility contract: they reproduce
+	// the rng streams of the pre-subsystem constructions exactly, which
+	// is what keeps EXPERIMENTS.md and the tool tests bit-identical.
+	root := rng.New(seed)
+	cpl := &Compiled{
+		Spec:      resolved,
+		Sim:       s,
+		Path:      path,
+		Reverse:   reverse,
+		Recorders: recs,
+		Transport: core.NewSimTransport(s, path),
+	}
+	for h, hop := range resolved.Hops {
+		for j, src := range hop.Traffic {
+			if err := runSource(s, root, links[h], reverse, h, j, src, resolved.Horizon); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Analytic long-run ground truth: per-hop mean traffic rate from
+	// the spec, tight link = argmin avail, narrow link = argmin
+	// capacity (first wins on ties, matching sim.Path.NarrowLink).
+	tight, narrow := 0, 0
+	var tightA unit.Rate
+	for h, hop := range resolved.Hops {
+		var load unit.Rate
+		for _, src := range hop.Traffic {
+			r, err := src.meanRate(resolved.Horizon)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: hop %d: %w", h, err)
+			}
+			load += r
+		}
+		avail := hop.Capacity - load
+		if avail < 0 {
+			avail = 0
+		}
+		if h == 0 || avail < tightA {
+			tight, tightA = h, avail
+		}
+		if hop.Capacity < resolved.Hops[narrow].Capacity {
+			narrow = h
+		}
+	}
+	cpl.TightLink, cpl.NarrowLink = tight, narrow
+	cpl.TrueAvailBw = tightA
+	cpl.Capacity = resolved.Hops[tight].Capacity
+	return cpl, nil
+}
+
+// meanRate returns the source's long-run mean rate over the horizon.
+func (src Source) meanRate(horizon time.Duration) (unit.Rate, error) {
+	segs, err := src.segments(horizon)
+	if err != nil {
+		return 0, err
+	}
+	if horizon <= 0 {
+		return 0, nil
+	}
+	var weighted float64
+	for _, g := range segs {
+		weighted += float64(g.rate) * (g.until - g.from).Seconds()
+	}
+	return unit.Rate(weighted / horizon.Seconds()), nil
+}
+
+// segment is one constant-rate stretch of a source's profile.
+type segment struct {
+	from, until time.Duration
+	rate        unit.Rate
+}
+
+// segments expands the source's rate profile over [0, horizon).
+func (src Source) segments(horizon time.Duration) ([]segment, error) {
+	if len(src.Steps) == 0 {
+		if src.Rate <= 0 {
+			return nil, fmt.Errorf("scenario: %s source needs a positive rate", src.Kind)
+		}
+		return []segment{{0, horizon, src.Rate}}, nil
+	}
+	switch src.Kind {
+	case CBR, Poisson, ParetoOnOff, ParetoArrivals:
+	default:
+		return nil, fmt.Errorf("scenario: %s source does not support rate steps", src.Kind)
+	}
+	if src.Steps[0].At != 0 {
+		return nil, fmt.Errorf("scenario: the first rate step must be at 0 (got %v)", src.Steps[0].At)
+	}
+	var segs []segment
+	for i, st := range src.Steps {
+		if st.Rate < 0 {
+			return nil, fmt.Errorf("scenario: negative rate step %v", st.Rate)
+		}
+		until := horizon
+		if i+1 < len(src.Steps) {
+			until = src.Steps[i+1].At
+			if until <= st.At {
+				return nil, fmt.Errorf("scenario: rate steps must be strictly increasing in time")
+			}
+		}
+		if st.At >= horizon {
+			break
+		}
+		if until > horizon {
+			until = horizon
+		}
+		segs = append(segs, segment{st.At, until, st.Rate})
+	}
+	return segs, nil
+}
+
+// sizes returns the source's packet-size distribution.
+func (src Source) sizes() rng.SizeDist {
+	if src.Sizes != nil {
+		return src.Sizes
+	}
+	if src.PktSize > 0 {
+		return rng.FixedSize(int(src.PktSize))
+	}
+	return rng.FixedSize(1500)
+}
+
+// runSource schedules one source on its hop. Sources that need
+// randomness derive exactly one child stream from root, in hop-major
+// order, under the source's (possibly overridden) label.
+func runSource(s *sim.Sim, root *rng.Rand, link, reverse *sim.Link, h, j int, src Source, horizon time.Duration) error {
+	route := []*sim.Link{link}
+	label := src.SplitLabel
+	if label == "" {
+		if j == 0 {
+			label = fmt.Sprintf("hop%d", h)
+		} else {
+			label = fmt.Sprintf("hop%d.%d", h, j)
+		}
+	}
+	flow := src.Flow
+	if flow == 0 {
+		flow = 1000 + h
+	}
+	stream := func(rate unit.Rate) crosstraffic.Stream {
+		return crosstraffic.Stream{Rate: rate, Sizes: src.sizes(), Flow: flow}
+	}
+	switch src.Kind {
+	case CBR:
+		segs, err := src.segments(horizon)
+		if err != nil {
+			return err
+		}
+		for _, g := range segs {
+			if g.rate == 0 {
+				continue
+			}
+			crosstraffic.CBR(stream(g.rate)).Run(s, route, g.from, g.until)
+		}
+	case Poisson:
+		segs, err := src.segments(horizon)
+		if err != nil {
+			return err
+		}
+		r := root.Split(label)
+		for _, g := range segs {
+			if g.rate == 0 {
+				continue
+			}
+			crosstraffic.Poisson(stream(g.rate), r).Run(s, route, g.from, g.until)
+		}
+	case ParetoOnOff:
+		segs, err := src.segments(horizon)
+		if err != nil {
+			return err
+		}
+		r := root.Split(label)
+		for _, g := range segs {
+			if g.rate == 0 {
+				continue
+			}
+			crosstraffic.ParetoOnOff(crosstraffic.ParetoOnOffConfig{Stream: stream(g.rate), OffCap: 200}, r).
+				Run(s, route, g.from, g.until)
+		}
+	case ParetoArrivals:
+		segs, err := src.segments(horizon)
+		if err != nil {
+			return err
+		}
+		shape := src.Shape
+		if shape == 0 {
+			shape = 1.9
+		}
+		r := root.Split(label)
+		for _, g := range segs {
+			if g.rate == 0 {
+				continue
+			}
+			crosstraffic.ParetoArrivals(stream(g.rate), shape, r).Run(s, route, g.from, g.until)
+		}
+	case LRD:
+		if src.Rate <= 0 {
+			return fmt.Errorf("scenario: LRD source needs a positive rate")
+		}
+		if src.Rate >= link.Capacity {
+			return fmt.Errorf("scenario: LRD rate %v must be below the hop capacity %v", src.Rate, link.Capacity)
+		}
+		hurst := src.Hurst
+		if hurst == 0 {
+			hurst = 0.8
+		}
+		sizes := src.Sizes
+		if sizes == nil {
+			sizes = rng.InternetMix
+		}
+		r := root.Split(label)
+		base, err := trace.SynthesizeFGN(trace.FGNConfig{
+			Capacity: link.Capacity,
+			MeanRate: src.Rate,
+			Hurst:    hurst,
+			Span:     30 * time.Second,
+			Sizes:    sizes,
+		}, r)
+		if err != nil {
+			return fmt.Errorf("scenario: LRD synthesis: %w", err)
+		}
+		replayTrace(s, route, base, flow, 0, horizon)
+	case Mice:
+		if src.Rate <= 0 {
+			return fmt.Errorf("scenario: mice source needs a positive offered load")
+		}
+		r := root.Split(label)
+		mice, err := tcp.NewMice(tcp.MiceConfig{
+			OfferedLoad:   src.Rate,
+			MeanFlowBytes: src.MeanFlowBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		return mice.Run(s, route, []*sim.Link{reverse}, 0, horizon, flow, r)
+	case BufferLimitedTCP:
+		if src.Rate <= 0 {
+			return fmt.Errorf("scenario: buffer-limited TCP needs a nominal rate for ground-truth accounting")
+		}
+		conns := src.Conns
+		if conns == 0 {
+			conns = 1
+		}
+		window := src.Window
+		if window == 0 {
+			window = 32
+		}
+		for i := 0; i < conns; i++ {
+			conn, err := tcp.New(s, route, []*sim.Link{reverse}, flow+i, tcp.Config{RcvWnd: window})
+			if err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+			// Staggered starts, 50 ms apart, so the aggregate does not
+			// slow-start in lockstep.
+			conn.Start(time.Duration(i) * 50 * time.Millisecond)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown source kind %v", src.Kind)
+	}
+	return nil
+}
+
+// replayTrace tiles the base trace over [from, until). Each tile's
+// injections are scheduled lazily at the tile boundary, so only tiles
+// the run actually reaches materialize events.
+func replayTrace(s *sim.Sim, route []*sim.Link, tr *trace.Trace, flow int, from, until time.Duration) {
+	var tile func(start time.Duration)
+	tile = func(start time.Duration) {
+		if start >= until {
+			return
+		}
+		for _, p := range tr.Packets() {
+			at := start + p.At
+			if at >= until {
+				break
+			}
+			s.Inject(&sim.Packet{Size: p.Size, Kind: sim.KindCross, Flow: flow, Route: route}, at)
+		}
+		if next := start + tr.Span; next < until {
+			s.At(next, func() { tile(next) })
+		}
+	}
+	tile(from)
+}

@@ -1,0 +1,239 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"abw/internal/unit"
+)
+
+// TestCBRGroundTruth is the recorder-vs-analytic property the ground
+// truth rests on: under CBR cross traffic the measured avail-bw
+// A(t, t+τ) must match C − R at every averaging timescale, up to the
+// packet-quantization of the busy periods.
+func TestCBRGroundTruth(t *testing.T) {
+	cpl, err := Compile(Spec{
+		Horizon: 12 * time.Second,
+		Hops: []Hop{{
+			Capacity: 50 * unit.Mbps,
+			Traffic:  []Source{{Kind: CBR, Rate: 25 * unit.Mbps}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpl.Sim.RunUntil(10 * time.Second)
+	want := 25.0
+	for _, tau := range []time.Duration{50 * time.Millisecond, 200 * time.Millisecond, time.Second} {
+		for _, from := range []time.Duration{time.Second, 3 * time.Second, 7 * time.Second} {
+			got := cpl.AvailBw(0, from, tau).MbpsOf()
+			if got < want*0.95 || got > want*1.05 {
+				t.Errorf("AvailBw(τ=%v, t=%v) = %.2f Mbps, want %.1f ± 5%%", tau, from, got, want)
+			}
+		}
+	}
+	if cpl.TrueAvailBw != 25*unit.Mbps {
+		t.Errorf("TrueAvailBw = %v, want 25 Mbps", cpl.TrueAvailBw)
+	}
+}
+
+// TestTightVsNarrow asserts the catalog's two-hop scenario separates
+// the tight link from the narrow link, in the analytic truth, in the
+// per-hop measurements, and through sim.Path's own accessors.
+func TestTightVsNarrow(t *testing.T) {
+	d, ok := Lookup("narrowtight")
+	if !ok {
+		t.Fatal("narrowtight scenario missing from the catalog")
+	}
+	cpl, err := d.CompileSeeded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpl.TightLink == cpl.NarrowLink {
+		t.Fatalf("TightLink = NarrowLink = %d; the scenario exists to separate them", cpl.TightLink)
+	}
+	if cpl.TightLink != 0 || cpl.NarrowLink != 1 {
+		t.Fatalf("TightLink, NarrowLink = %d, %d; want 0, 1", cpl.TightLink, cpl.NarrowLink)
+	}
+	if cpl.Capacity != unit.FastEthernet {
+		t.Errorf("tight-link capacity = %v, want %v", cpl.Capacity, unit.FastEthernet)
+	}
+	if cpl.TrueAvailBw != 20*unit.Mbps {
+		t.Errorf("TrueAvailBw = %v, want 20 Mbps", cpl.TrueAvailBw)
+	}
+
+	cpl.Sim.RunUntil(6 * time.Second)
+	window := 4 * time.Second
+	a0 := cpl.AvailBw(0, time.Second, window).MbpsOf()
+	a1 := cpl.AvailBw(1, time.Second, window).MbpsOf()
+	if a0 < 20*0.85 || a0 > 20*1.15 {
+		t.Errorf("measured hop-0 avail-bw %.2f Mbps, want 20 ± 15%%", a0)
+	}
+	if a1 < 40*0.85 || a1 > 40*1.15 {
+		t.Errorf("measured hop-1 avail-bw %.2f Mbps, want 40 ± 15%%", a1)
+	}
+	if got := cpl.Path.TightLink(time.Second, window); got != cpl.Path.Links[0] {
+		t.Errorf("Path.TightLink = %s, want hop0", got.Name)
+	}
+	if got := cpl.Path.NarrowLink(); got != cpl.Path.Links[1] {
+		t.Errorf("Path.NarrowLink = %s, want hop1", got.Name)
+	}
+}
+
+// TestSeedZero asserts seed 0 is a real seed: explicit Seed(0) gives a
+// different (but reproducible) realization than Seed(1), and a nil
+// seed still defaults to 1.
+func TestSeedZero(t *testing.T) {
+	build := func(seed *uint64) []time.Duration {
+		cpl := MustCompile(Spec{
+			Horizon: 2 * time.Second,
+			Seed:    seed,
+			Hops: []Hop{{
+				Capacity: 50 * unit.Mbps,
+				Traffic:  []Source{{Kind: Poisson, Rate: 25 * unit.Mbps}},
+			}},
+		})
+		cpl.Sim.RunUntil(2 * time.Second)
+		arr := cpl.Recorders[0].Arrivals()
+		out := make([]time.Duration, 0, 16)
+		for i := 0; i < len(arr) && i < 16; i++ {
+			out = append(out, arr[i].At)
+		}
+		return out
+	}
+	zeroA, zeroB := build(Seed(0)), build(Seed(0))
+	one, def := build(Seed(1)), build(nil)
+	if len(zeroA) == 0 {
+		t.Fatal("seed-0 scenario generated no traffic")
+	}
+	eq := func(a, b []time.Duration) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(zeroA, zeroB) {
+		t.Error("seed 0 is not reproducible")
+	}
+	if eq(zeroA, one) {
+		t.Error("seed 0 and seed 1 produced identical traffic; 0 is being coerced")
+	}
+	if !eq(one, def) {
+		t.Error("nil seed should default to seed 1")
+	}
+}
+
+// TestStepProfile asserts a stepped source changes the measured
+// avail-bw at the step instant: the time-varying ground truth the
+// step-change scenario is built on.
+func TestStepProfile(t *testing.T) {
+	cpl, err := Compile(Spec{
+		Horizon: 4 * time.Second,
+		Hops: []Hop{{
+			Capacity: 50 * unit.Mbps,
+			Traffic: []Source{{
+				Kind:  CBR,
+				Steps: []RateStep{{At: 0, Rate: 10 * unit.Mbps}, {At: 2 * time.Second, Rate: 35 * unit.Mbps}},
+			}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic long-run truth is the time-weighted mean: C − (10+35)/2.
+	if got := cpl.TrueAvailBw.MbpsOf(); got < 27 || got > 28 {
+		t.Errorf("TrueAvailBw = %.2f Mbps, want 27.5", got)
+	}
+	cpl.Sim.RunUntil(4 * time.Second)
+	early := cpl.AvailBw(0, 500*time.Millisecond, time.Second).MbpsOf()
+	late := cpl.AvailBw(0, 2500*time.Millisecond, time.Second).MbpsOf()
+	if early < 38 || early > 42 {
+		t.Errorf("pre-step avail-bw %.2f Mbps, want ~40", early)
+	}
+	if late < 13 || late > 17 {
+		t.Errorf("post-step avail-bw %.2f Mbps, want ~15", late)
+	}
+}
+
+// TestCatalog asserts the catalog covers the conditions the issue and
+// the paper call for: at least eight scenarios spanning every source
+// kind, a heterogeneous multi-hop path, and a time-varying profile.
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 8 {
+		t.Fatalf("catalog has %d scenarios, want >= 8", len(cat))
+	}
+	for _, want := range []string{
+		"canonical", "bursty", "lrd", "mice",
+		"narrowtight", "multibottleneck", "step", "postnarrow",
+	} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("catalog is missing %q", want)
+		}
+	}
+	kinds := map[Kind]bool{}
+	multiHop, stepped := false, false
+	for _, d := range cat {
+		if len(d.Spec.Hops) > 1 {
+			multiHop = true
+		}
+		for _, hop := range d.Spec.Hops {
+			for _, src := range hop.Traffic {
+				kinds[src.Kind] = true
+				if len(src.Steps) > 0 {
+					stepped = true
+				}
+			}
+		}
+		if d.Summary == "" {
+			t.Errorf("%s: empty summary", d.Name)
+		}
+		cpl, err := d.Compile()
+		if err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+			continue
+		}
+		if cpl.TrueAvailBw <= 0 {
+			t.Errorf("%s: non-positive ground truth %v", d.Name, cpl.TrueAvailBw)
+		}
+	}
+	for _, k := range []Kind{CBR, Poisson, ParetoOnOff, LRD, Mice} {
+		if !kinds[k] {
+			t.Errorf("no catalog scenario uses %v traffic", k)
+		}
+	}
+	if !multiHop {
+		t.Error("no heterogeneous multi-hop scenario in the catalog")
+	}
+	if !stepped {
+		t.Error("no time-varying scenario in the catalog")
+	}
+}
+
+// TestSpecValidation covers the compile-time error paths.
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"no hops", Spec{}},
+		{"zero capacity", Spec{Hops: []Hop{{Traffic: []Source{{Kind: CBR, Rate: unit.Mbps}}}}}},
+		{"zero rate", Spec{Hops: []Hop{{Capacity: unit.Mbps, Traffic: []Source{{Kind: CBR}}}}}},
+		{"steps on mice", Spec{Hops: []Hop{{Capacity: 50 * unit.Mbps, Traffic: []Source{{
+			Kind: Mice, Rate: unit.Mbps, Steps: []RateStep{{At: 0, Rate: unit.Mbps}}}}}}}},
+		{"late first step", Spec{Hops: []Hop{{Capacity: 50 * unit.Mbps, Traffic: []Source{{
+			Kind: CBR, Steps: []RateStep{{At: time.Second, Rate: unit.Mbps}}}}}}}},
+		{"lrd above capacity", Spec{Hops: []Hop{{Capacity: unit.Mbps, Traffic: []Source{{
+			Kind: LRD, Rate: 2 * unit.Mbps}}}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(tc.spec); err == nil {
+			t.Errorf("%s: Compile accepted an invalid spec", tc.name)
+		}
+	}
+}

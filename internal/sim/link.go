@@ -52,6 +52,9 @@ func (s *Sim) NewLink(name string, capacity unit.Rate, propDelay time.Duration) 
 // detach.
 func (l *Link) Attach(r *Recorder) { l.rec = r }
 
+// Recorder returns the attached ground-truth recorder (nil if none).
+func (l *Link) Recorder() *Recorder { return l.rec }
+
 // Forwarded returns the number of packets fully transmitted by the link.
 func (l *Link) Forwarded() int64 { return l.forwarded }
 

@@ -40,6 +40,29 @@ func MustPath(links ...*Link) *Path {
 	return p
 }
 
+// TightLink returns the link with the minimum measured avail-bw over
+// [from, from+window), computed from each link's attached Recorder —
+// the paper's distinction between the tight link (minimum avail-bw)
+// and the narrow link (minimum capacity). Links without a recorder are
+// assumed idle (avail-bw = capacity). It panics on a non-positive
+// window, matching Recorder.Utilization.
+func (p *Path) TightLink(from, window time.Duration) *Link {
+	avail := func(l *Link) unit.Rate {
+		if l.rec != nil {
+			return l.rec.AvailBw(from, window)
+		}
+		return l.Capacity
+	}
+	min := p.Links[0]
+	minA := avail(min)
+	for _, l := range p.Links[1:] {
+		if a := avail(l); a < minA {
+			min, minA = l, a
+		}
+	}
+	return min
+}
+
 // NarrowLink returns the link with the minimum capacity C_n.
 func (p *Path) NarrowLink() *Link {
 	min := p.Links[0]

@@ -17,7 +17,7 @@ func BenchmarkAblationPairsVsTrains(b *testing.B) {
 	run := func(b *testing.B, trainLen, trains int, metric string) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
-			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
+			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(uint64(i + 1))})
 			est, err := delphi.New(delphi.Config{
 				Capacity: sc.Capacity, ProbeRate: 40 * unit.Mbps,
 				TrainLen: trainLen, Trains: trains,

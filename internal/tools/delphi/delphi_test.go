@@ -71,7 +71,7 @@ func TestEstimateCBRExact(t *testing.T) {
 }
 
 func TestEstimatePoissonClose(t *testing.T) {
-	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: 7})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(7)})
 	e, err := New(Config{Capacity: sc.Capacity, ProbeRate: 40 * unit.Mbps, Trains: 20, TrainLen: 200})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestBurstyTrafficUnderestimates(t *testing.T) {
 	// ON-OFF estimate must not exceed the CBR estimate (burstiness can
 	// only bias direct probing downward).
 	est := func(m toolstest.Traffic, seed uint64) float64 {
-		sc := toolstest.New(toolstest.Options{Model: m, Seed: seed})
+		sc := toolstest.New(toolstest.Options{Model: m, Seed: toolstest.Seed(seed)})
 		e, err := New(Config{Capacity: sc.Capacity, ProbeRate: 40 * unit.Mbps, Trains: 15})
 		if err != nil {
 			t.Fatal(err)
@@ -112,7 +112,7 @@ func TestBurstyTrafficUnderestimates(t *testing.T) {
 }
 
 func TestVariationRangeBounds(t *testing.T) {
-	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: 11})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(11)})
 	e, err := New(Config{Capacity: sc.Capacity, ProbeRate: 40 * unit.Mbps, Trains: 10})
 	if err != nil {
 		t.Fatal(err)

@@ -80,7 +80,7 @@ func TestIGIConvergesCBR(t *testing.T) {
 }
 
 func TestPTRPoissonPlausible(t *testing.T) {
-	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: 17})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(17)})
 	e, err := New(Config{InitRate: 50 * unit.Mbps})
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestPTRPoissonPlausible(t *testing.T) {
 
 func TestIGIEstimateClampedNonNegative(t *testing.T) {
 	// Heavily bursty traffic must not drive the IGI formula negative.
-	sc := toolstest.New(toolstest.Options{Model: toolstest.ParetoOnOff, Seed: 23})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.ParetoOnOff, Seed: toolstest.Seed(23)})
 	e, err := New(Config{Mode: IGI, Capacity: sc.Capacity})
 	if err != nil {
 		t.Fatal(err)

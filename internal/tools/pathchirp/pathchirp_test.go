@@ -48,7 +48,7 @@ func TestEstimateCBR(t *testing.T) {
 }
 
 func TestEstimatePoissonPlausible(t *testing.T) {
-	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: 21})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(21)})
 	e, err := New(Config{Lo: 5 * unit.Mbps, Hi: 48 * unit.Mbps, PacketsPerChirp: 25, Chirps: 20})
 	if err != nil {
 		t.Fatal(err)

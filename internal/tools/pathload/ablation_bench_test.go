@@ -16,7 +16,7 @@ func BenchmarkAblationTrendThresholds(b *testing.B) {
 	run := func(b *testing.B, cfg stats.TrendConfig) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
-			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
+			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(uint64(i + 1))})
 			est, err := pathload.New(pathload.Config{
 				MinRate: 2 * unit.Mbps, MaxRate: 48 * unit.Mbps,
 				StreamsPerRate: 3, Trend: cfg,

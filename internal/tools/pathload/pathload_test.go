@@ -51,7 +51,7 @@ func TestEstimateCBRConvergesToAvailBw(t *testing.T) {
 func TestEstimateReportsVariationRange(t *testing.T) {
 	// With bursty traffic Pathload should return a nontrivial range
 	// (Low < High) — the Figure 6 fallacy is that people expect a point.
-	sc := toolstest.New(toolstest.Options{Model: toolstest.ParetoOnOff, Seed: 9})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.ParetoOnOff, Seed: toolstest.Seed(9)})
 	e, err := New(Config{
 		MinRate: 2 * unit.Mbps, MaxRate: 48 * unit.Mbps,
 		Resolution: 1 * unit.Mbps, StreamsPerRate: 4,

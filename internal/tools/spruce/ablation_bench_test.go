@@ -18,7 +18,7 @@ func BenchmarkAblationSpruceSpacing(b *testing.B) {
 	run := func(b *testing.B, spacing time.Duration) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
-			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: uint64(i + 1)})
+			sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(uint64(i + 1))})
 			est, err := spruce.New(spruce.Config{
 				Capacity: sc.Capacity, Pairs: 100,
 				MeanSpacing: spacing, Rand: rng.New(uint64(i + 1)),

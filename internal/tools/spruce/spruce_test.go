@@ -63,7 +63,7 @@ func TestEstimateCBR(t *testing.T) {
 }
 
 func TestEstimatePoisson(t *testing.T) {
-	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: 5})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(5)})
 	e, err := New(Config{Capacity: sc.Capacity, Rand: rng.New(3), Pairs: 200})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestPairQuantizationWithLargeCrossPackets(t *testing.T) {
 	// per-pair samples are coarsely quantized, so their spread is wider
 	// than with 40 B packets at the same mean rate.
 	spread := func(size int, seed uint64) float64 {
-		sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, CrossSize: size, Seed: seed})
+		sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, CrossSize: size, Seed: toolstest.Seed(seed)})
 		e, err := New(Config{Capacity: sc.Capacity, Rand: rng.New(seed), Pairs: 150})
 		if err != nil {
 			t.Fatal(err)
@@ -112,7 +112,7 @@ func TestPairQuantizationWithLargeCrossPackets(t *testing.T) {
 }
 
 func TestSamplesClampedToPhysicalRange(t *testing.T) {
-	sc := toolstest.New(toolstest.Options{Model: toolstest.ParetoOnOff, Seed: 13})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.ParetoOnOff, Seed: toolstest.Seed(13)})
 	e, err := New(Config{Capacity: sc.Capacity, Rand: rng.New(7), Pairs: 150})
 	if err != nil {
 		t.Fatal(err)

@@ -1,43 +1,38 @@
-// Package toolstest provides shared scenario builders for estimation-tool
-// tests: the paper's canonical single-hop setting (50 Mbps tight link,
-// 25 Mbps cross traffic) and its multi-hop variant, each exposing the
-// ground-truth avail-bw for assertions.
+// Package toolstest is a thin shim over internal/scenario for
+// estimation-tool tests: the paper's canonical single-hop setting
+// (50 Mbps tight link, 25 Mbps cross traffic) and its homogeneous
+// multi-hop variant, each exposing the ground-truth avail-bw for
+// assertions. Heterogeneous topologies are expressed directly as
+// scenario.Spec; this package only keeps the historical one-struct
+// options for the common homogeneous case.
 package toolstest
 
 import (
 	"time"
 
-	"abw/internal/core"
-	"abw/internal/crosstraffic"
-	"abw/internal/rng"
-	"abw/internal/sim"
+	"abw/internal/scenario"
 	"abw/internal/unit"
 )
 
-// Scenario bundles a transport with its ground truth.
-type Scenario struct {
-	Transport *core.SimTransport
-	Sim       *sim.Sim
-	Path      *sim.Path
-	Recorders []*sim.Recorder
-	// TrueAvailBw is the configured long-run avail-bw of the tight link.
-	TrueAvailBw unit.Rate
-	// Capacity is the tight-link capacity.
-	Capacity unit.Rate
-}
+// Scenario is a compiled scenario: a transport with its ground truth.
+type Scenario = scenario.Compiled
 
 // Traffic selects the cross-traffic model.
-type Traffic int
+type Traffic = scenario.Kind
 
 // Cross-traffic models for scenarios.
 const (
-	CBR Traffic = iota
-	Poisson
-	ParetoOnOff
+	CBR         = scenario.CBR
+	Poisson     = scenario.Poisson
+	ParetoOnOff = scenario.ParetoOnOff
 )
 
-// Options configures a scenario; zero values take the paper's canonical
-// parameters.
+// Seed returns a pointer to v for Options.Seed: the pointer form makes
+// seed 0 a valid explicit seed (nil means the default seed 1).
+func Seed(v uint64) *uint64 { return scenario.Seed(v) }
+
+// Options configures a homogeneous scenario; zero values take the
+// paper's canonical parameters.
 type Options struct {
 	Capacity  unit.Rate     // default 50 Mbps
 	CrossRate unit.Rate     // default 25 Mbps
@@ -45,10 +40,13 @@ type Options struct {
 	CrossSize int           // cross packet size, default 1500 (CBR uses it too)
 	Hops      int           // default 1
 	Horizon   time.Duration // how long cross traffic is scheduled, default 120 s
-	Seed      uint64        // default 1
+	Seed      *uint64       // default 1; Seed(0) is a valid explicit seed
 }
 
-func (o Options) withDefaults() Options {
+// New builds a scenario: Hops identical tight links, each carrying
+// one-hop-persistent cross traffic of the chosen model at CrossRate.
+func New(opts Options) *Scenario {
+	o := opts
 	if o.Capacity == 0 {
 		o.Capacity = 50 * unit.Mbps
 	}
@@ -61,51 +59,16 @@ func (o Options) withDefaults() Options {
 	if o.Hops == 0 {
 		o.Hops = 1
 	}
-	if o.Horizon == 0 {
-		o.Horizon = 120 * time.Second
+	spec := scenario.Spec{Horizon: o.Horizon, Seed: o.Seed}
+	for h := 0; h < o.Hops; h++ {
+		spec.Hops = append(spec.Hops, scenario.Hop{
+			Capacity: o.Capacity,
+			Traffic: []scenario.Source{{
+				Kind:    o.Model,
+				Rate:    o.CrossRate,
+				PktSize: unit.Bytes(o.CrossSize),
+			}},
+		})
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	return o
-}
-
-// New builds a scenario: Hops identical tight links, each carrying
-// one-hop-persistent cross traffic of the chosen model at CrossRate.
-func New(opts Options) *Scenario {
-	o := opts.withDefaults()
-	s := sim.New()
-	root := rng.New(o.Seed)
-	links := make([]*sim.Link, o.Hops)
-	recs := make([]*sim.Recorder, o.Hops)
-	for i := range links {
-		links[i] = s.NewLink("hop", o.Capacity, time.Millisecond)
-		recs[i] = sim.NewRecorder(o.Capacity)
-		links[i].Attach(recs[i])
-	}
-	path := sim.MustPath(links...)
-	crosstraffic.OnePersistentPerHop(s, path, 0, o.Horizon, func(hop int) crosstraffic.Model {
-		cfg := crosstraffic.Stream{
-			Rate:  o.CrossRate,
-			Sizes: rng.FixedSize(o.CrossSize),
-			Flow:  1000 + hop,
-		}
-		r := root.Split("hop" + string(rune('0'+hop)))
-		switch o.Model {
-		case Poisson:
-			return crosstraffic.Poisson(cfg, r)
-		case ParetoOnOff:
-			return crosstraffic.ParetoOnOff(crosstraffic.ParetoOnOffConfig{Stream: cfg, OffCap: 200}, r)
-		default:
-			return crosstraffic.CBR(cfg)
-		}
-	})
-	return &Scenario{
-		Transport:   core.NewSimTransport(s, path),
-		Sim:         s,
-		Path:        path,
-		Recorders:   recs,
-		TrueAvailBw: o.Capacity - o.CrossRate,
-		Capacity:    o.Capacity,
-	}
+	return scenario.MustCompile(spec)
 }

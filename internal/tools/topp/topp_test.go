@@ -65,7 +65,7 @@ func TestEstimatePoissonUnderestimatesOrClose(t *testing.T) {
 	// With bursty traffic TOPP dips below the true avail-bw (the
 	// paper's burstiness pitfall applies to iterative probing too): the
 	// estimate must not exceed truth by much, and must be positive.
-	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: 5})
+	sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson, Seed: toolstest.Seed(5)})
 	e, err := New(Config{MinRate: 5 * unit.Mbps, MaxRate: 45 * unit.Mbps, Step: 2.5 * unit.Mbps, PairsPerRate: 30})
 	if err != nil {
 		t.Fatal(err)

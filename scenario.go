@@ -1,23 +1,56 @@
 package abw
 
+// This file fronts the scenario subsystem: declarative simulated paths
+// with exact ground truth, and the named catalog of the conditions the
+// paper warns about — the scenario-side mirror of the estimator
+// registry in abw.go.
+
 import (
-	"abw/internal/tools/toolstest"
+	"fmt"
+	"time"
+
+	"abw/internal/scenario"
 )
 
-// Traffic selects a cross-traffic model for simulated scenarios.
-type Traffic = toolstest.Traffic
+// Declarative scenario types re-exported from the scenario subsystem.
+type (
+	// ScenarioSpec describes a heterogeneous simulated path: per-hop
+	// capacity/buffer/delay and an arbitrary mix of traffic sources,
+	// optionally time-varying.
+	ScenarioSpec = scenario.Spec
+	// Hop is one store-and-forward link with its cross traffic.
+	Hop = scenario.Hop
+	// Source is one traffic source on a hop.
+	Source = scenario.Source
+	// RateStep is one segment of a piecewise-constant rate profile.
+	RateStep = scenario.RateStep
+	// Traffic selects a cross-traffic model for simulated scenarios.
+	Traffic = scenario.Kind
+	// ScenarioInfo describes one cataloged scenario: name, aliases,
+	// summary, and the spec behind it.
+	ScenarioInfo = scenario.Descriptor
+)
 
 // Cross-traffic models.
 const (
-	CBR         = toolstest.CBR
-	Poisson     = toolstest.Poisson
-	ParetoOnOff = toolstest.ParetoOnOff
+	CBR              = scenario.CBR
+	Poisson          = scenario.Poisson
+	ParetoOnOff      = scenario.ParetoOnOff
+	ParetoArrivals   = scenario.ParetoArrivals
+	LRD              = scenario.LRD
+	Mice             = scenario.Mice
+	BufferLimitedTCP = scenario.BufferLimitedTCP
 )
 
-// ScenarioOptions configures a simulated path; zero values take the
-// paper's canonical parameters (50 Mbps tight link, 25 Mbps CBR cross
-// traffic, one hop, seed 1).
-type ScenarioOptions = toolstest.Options
+// Seed returns a pointer to v for ScenarioSpec.Seed: the pointer form
+// makes seed 0 a valid explicit seed (nil means the default seed 1).
+func Seed(v uint64) *uint64 { return scenario.Seed(v) }
+
+// Scenarios returns the cataloged scenarios in their canonical order.
+func Scenarios() []ScenarioInfo { return scenario.Catalog() }
+
+// LookupScenario finds a cataloged scenario by name or alias.
+func LookupScenario(name string) (ScenarioInfo, bool) { return scenario.Lookup(name) }
 
 // Scenario is a simulated path with known ground truth: the controlled
 // conditions the paper demands for comparing estimation techniques.
@@ -25,24 +58,70 @@ type ScenarioOptions = toolstest.Options
 // consecutive slices of the cross-traffic process, exactly how a real
 // tool samples a live path.
 type Scenario struct {
+	// Name is the catalog name when the scenario was built from one.
+	Name string
 	// Transport delivers probing streams over the simulated path.
 	Transport Transport
-	// TrueAvailBw is the configured long-run avail-bw of the tight
-	// link — the ground truth estimates are judged against.
+	// TrueAvailBw is the analytic long-run avail-bw of the tight link
+	// — the ground truth estimates are judged against.
 	TrueAvailBw Rate
 	// Capacity is the tight-link capacity (what direct-probing tools
 	// need as Params.Capacity).
 	Capacity Rate
+	// TightLink and NarrowLink are hop indices: minimum avail-bw vs
+	// minimum capacity. Where they differ, feeding a capacity tool's
+	// answer to a direct-probing tool is the paper's fifth pitfall.
+	TightLink, NarrowLink int
+
+	compiled *scenario.Compiled
 }
 
-// NewScenario builds a deterministic simulated path. Identical options
-// give identical packet-level behavior, so estimator runs are exactly
-// reproducible.
-func NewScenario(opts ScenarioOptions) *Scenario {
-	sc := toolstest.New(opts)
+// Hops returns the path length.
+func (s *Scenario) Hops() int { return len(s.compiled.Path.Links) }
+
+// AvailBw returns the measured ground-truth avail-bw of the given hop
+// over [from, from+window) of virtual time — the paper's A(t, t+τ),
+// exact, from the hop's recorder.
+func (s *Scenario) AvailBw(hop int, from, window time.Duration) Rate {
+	return s.compiled.AvailBw(hop, from, window)
+}
+
+// SpecOrName is the input NewScenario accepts: a declarative
+// ScenarioSpec, or the name of a cataloged scenario.
+type SpecOrName interface{ ScenarioSpec | string }
+
+// NewScenario builds a deterministic simulated path from a declarative
+// spec or a catalog name. Identical inputs give identical packet-level
+// behavior, so estimator runs are exactly reproducible.
+func NewScenario[T SpecOrName](v T) (*Scenario, error) {
+	switch x := any(v).(type) {
+	case string:
+		d, ok := scenario.Lookup(x)
+		if !ok {
+			return nil, fmt.Errorf("abw: unknown scenario %q (have %v)", x, scenario.Names())
+		}
+		cpl, err := d.Compile()
+		if err != nil {
+			return nil, err
+		}
+		return wrapScenario(d.Name, cpl), nil
+	default:
+		cpl, err := scenario.Compile(x.(ScenarioSpec))
+		if err != nil {
+			return nil, err
+		}
+		return wrapScenario("", cpl), nil
+	}
+}
+
+func wrapScenario(name string, cpl *scenario.Compiled) *Scenario {
 	return &Scenario{
-		Transport:   sc.Transport,
-		TrueAvailBw: sc.TrueAvailBw,
-		Capacity:    sc.Capacity,
+		Name:        name,
+		Transport:   cpl.Transport,
+		TrueAvailBw: cpl.TrueAvailBw,
+		Capacity:    cpl.Capacity,
+		TightLink:   cpl.TightLink,
+		NarrowLink:  cpl.NarrowLink,
+		compiled:    cpl,
 	}
 }

@@ -1,0 +1,127 @@
+// Command benchbaseline runs the repository's benchmarks once each
+// (-benchtime 1x) and writes the parsed results as a JSON baseline —
+// the starting point of the performance trajectory. Regenerate with:
+//
+//	go run ./scripts/benchbaseline            # writes BENCH_0.json
+//	go run ./scripts/benchbaseline -out f.json
+//
+// CI runs the same benchmark smoke (without writing the file) so a
+// benchmark that stops compiling or starts failing is caught on every
+// push; comparing a fresh baseline against the committed one is how a
+// perf regression investigation starts.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the file shape.
+type Baseline struct {
+	Schema     string      `json:"schema"`
+	Command    string      `json:"command"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	Note       string      `json:"note"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_0.json", "output file")
+	flag.Parse()
+
+	args := []string{"test", "-bench", ".", "-benchtime", "1x", "-run", "^$", "./..."}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchbaseline: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	base := Baseline{
+		Schema:    "abw-bench-baseline/1",
+		Command:   "go " + strings.Join(args, " "),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Note: "single-iteration smoke numbers: good for spotting order-of-magnitude " +
+			"regressions and keeping benchmarks compiling, not for micro-comparisons",
+		Benchmarks: parse(&buf),
+	}
+	b, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchbaseline: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchbaseline: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchbaseline: wrote %d benchmarks to %s\n", len(base.Benchmarks), *out)
+}
+
+// parse extracts benchmark lines from `go test -bench` output,
+// tracking the current package from the interleaved "pkg:" headers.
+func parse(r *bytes.Buffer) []Benchmark {
+	var out []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Package: pkg, Name: f[0], Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -214,6 +214,28 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrix runs the full tools×scenarios matrix in quick mode:
+// every registered end-to-end tool against every cataloged scenario.
+// This is the workload the hot-path pooling and the bounded aggregate
+// recorders were built for — dozens of long-horizon scenario
+// compilations probed concurrently.
+func BenchmarkMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Matrix(exp.MatrixConfig{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		failed := 0
+		for _, c := range res.Cells {
+			if c.Err != nil {
+				failed++
+			}
+		}
+		b.ReportMetric(float64(len(res.Cells)), "cells")
+		b.ReportMetric(float64(failed), "failed-cells")
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator event throughput:
 // the cost driver behind every experiment above.
 func BenchmarkSimulatorThroughput(b *testing.B) {

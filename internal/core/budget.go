@@ -86,8 +86,13 @@ func (bt *BudgetTransport) Probe(spec probe.StreamSpec) (*probe.Record, error) {
 		return nil, fmt.Errorf("core: %w: %d+%d packets exceed MaxPackets %d", ErrBudget, bt.packets, spec.Count, b.MaxPackets)
 	case b.MaxBytes > 0 && bt.bytes+spec.Bytes() > b.MaxBytes:
 		return nil, fmt.Errorf("core: %w: %d+%d bytes exceed MaxBytes %d", ErrBudget, bt.bytes, spec.Bytes(), b.MaxBytes)
-	case b.MaxDuration > 0 && bt.t.Now()-bt.start >= b.MaxDuration:
-		return nil, fmt.Errorf("core: %w: %v elapsed of MaxDuration %v", ErrBudget, bt.t.Now()-bt.start, b.MaxDuration)
+	case b.MaxDuration > 0 && bt.t.Now()-bt.start+spec.Duration() > b.MaxDuration:
+		// Charge the stream's projected send duration, exactly like
+		// MaxPackets/MaxBytes charge projected counts: checking only the
+		// elapsed time before the stream would let a stream admitted at
+		// elapsed < MaxDuration run arbitrarily past the cap.
+		return nil, fmt.Errorf("core: %w: %v elapsed + %v stream exceed MaxDuration %v",
+			ErrBudget, bt.t.Now()-bt.start, spec.Duration(), b.MaxDuration)
 	}
 	rec, err := bt.t.Probe(spec)
 	if err != nil {

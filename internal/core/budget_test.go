@@ -102,6 +102,40 @@ func TestBudgetMaxDuration(t *testing.T) {
 	}
 }
 
+func TestBudgetMaxDurationChargesProjectedStreamTime(t *testing.T) {
+	// Regression: MaxDuration used to be checked only against the time
+	// elapsed *before* the stream, so a stream admitted at
+	// elapsed < MaxDuration could run arbitrarily past the cap. The cap
+	// must charge the stream's projected send duration up front, like
+	// MaxPackets/MaxBytes charge projected counts.
+	st := &stubTransport{step: 30 * time.Millisecond}
+	bt := WithBudget(st, Budget{MaxDuration: 50 * time.Millisecond})
+
+	// 2 packets of 1250 B at 100 kbps: one 100 ms gap, so the stream
+	// alone projects past the 50 ms cap even at elapsed = 0.
+	long := probe.Periodic(100*unit.Kbps, 1250, 2)
+	if d := long.Duration(); d != 100*time.Millisecond {
+		t.Fatalf("stream duration = %v, want 100ms (test setup)", d)
+	}
+	if _, err := bt.Probe(long); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over-long stream err = %v, want ErrBudget", err)
+	}
+	if st.probes != 0 {
+		t.Errorf("underlying transport saw %d probes, want 0 (cap enforced before send)", st.probes)
+	}
+
+	// A stream that fits exactly (projected 50 ms at elapsed 0) is
+	// admitted; after it the clock stands at 30 ms, so the same stream
+	// is rejected because elapsed + projection exceeds the cap.
+	fits := probe.Periodic(200*unit.Kbps, 1250, 2) // 50 ms
+	if _, err := bt.Probe(fits); err != nil {
+		t.Fatalf("exactly-fitting stream rejected: %v", err)
+	}
+	if _, err := bt.Probe(fits); !errors.Is(err, ErrBudget) {
+		t.Fatalf("second stream err = %v, want ErrBudget", err)
+	}
+}
+
 func TestObserverSeesStreams(t *testing.T) {
 	var events []StreamEvent
 	ot := WithObserver(&stubTransport{step: time.Millisecond}, func(ev StreamEvent) {

@@ -19,6 +19,15 @@ import (
 	"abw/internal/unit"
 )
 
+// inject schedules one pooled cross-traffic packet: the packet comes
+// from the simulation's free list and is recycled after delivery, so
+// steady-state generation allocates nothing.
+func inject(s *sim.Sim, route []*sim.Link, size unit.Bytes, kind sim.Kind, flow int, at time.Duration) {
+	p := s.NewPacket()
+	p.Size, p.Kind, p.Flow, p.Route = size, kind, flow, route
+	s.Inject(p, at)
+}
+
 // Stream describes the target long-run behaviour of a traffic source.
 type Stream struct {
 	// Rate is the long-run average rate.
@@ -87,7 +96,7 @@ func (m *cbr) Run(s *sim.Sim, route []*sim.Link, from, until time.Duration) *Cou
 		if next >= until {
 			return
 		}
-		s.Inject(&sim.Packet{Size: size, Kind: m.cfg.Kind, Flow: m.cfg.Flow, Route: route}, next)
+		inject(s, route, size, m.cfg.Kind, m.cfg.Flow, next)
 		ctr.Packets++
 		ctr.Bytes += size
 		next += gap
@@ -127,7 +136,7 @@ func (m *poisson) Run(s *sim.Sim, route []*sim.Link, from, until time.Duration) 
 			return
 		}
 		size := unit.Bytes(m.cfg.sizes().Sample(m.r))
-		s.Inject(&sim.Packet{Size: size, Kind: m.cfg.Kind, Flow: m.cfg.Flow, Route: route}, at)
+		inject(s, route, size, m.cfg.Kind, m.cfg.Flow, at)
 		ctr.Packets++
 		ctr.Bytes += size
 		at += time.Duration(m.r.Exp(meanGapSec) * 1e9)
@@ -220,7 +229,7 @@ func (m *paretoOnOff) Run(s *sim.Sim, route []*sim.Link, from, until time.Durati
 		t := at
 		for i := 0; i < n && t < until; i++ {
 			size := unit.Bytes(m.cfg.sizes().Sample(m.r))
-			s.Inject(&sim.Packet{Size: size, Kind: m.cfg.Kind, Flow: m.cfg.Flow, Route: route}, t)
+			inject(s, route, size, m.cfg.Kind, m.cfg.Flow, t)
 			ctr.Packets++
 			ctr.Bytes += size
 			t += unit.GapFor(size, m.cfg.Peak)
@@ -277,7 +286,7 @@ func (m *paretoArrivals) Run(s *sim.Sim, route []*sim.Link, from, until time.Dur
 			return
 		}
 		size := unit.Bytes(m.cfg.sizes().Sample(m.r))
-		s.Inject(&sim.Packet{Size: size, Kind: m.cfg.Kind, Flow: m.cfg.Flow, Route: route}, at)
+		inject(s, route, size, m.cfg.Kind, m.cfg.Flow, at)
 		ctr.Packets++
 		ctr.Bytes += size
 		at += time.Duration(m.r.Pareto(m.shape, xm) * 1e9)

@@ -3,6 +3,14 @@
 // tie-break, so two events scheduled for the same instant always fire in
 // scheduling order. Determinism of the whole simulation rests on this
 // property.
+//
+// The queue owns a free list of Event structs so steady-state
+// scheduling allocates nothing: popped and canceled events are returned
+// to the pool with Release and handed out again by the next Schedule.
+// Callers therefore never hold a bare *Event across a firing — Schedule
+// returns a Handle, a value type carrying the scheduling sequence
+// number, so a stale Handle (its event already fired, was canceled, or
+// was recycled into a different event) cancels nothing.
 package eventq
 
 import (
@@ -10,57 +18,155 @@ import (
 	"time"
 )
 
-// Event is a callback scheduled to run at a virtual time.
+// Event is a callback scheduled to run at a virtual time. Events are
+// owned by their Queue: after Pop the caller runs the event and gives
+// the struct back with Release, which recycles it for a future
+// Schedule. Hold a Handle, not an *Event.
 type Event struct {
 	At time.Duration // virtual time since simulation epoch
-	Fn func()
 
-	seq   uint64 // insertion order, breaks ties deterministically
-	index int    // heap index, -1 once popped or canceled
+	fn    func()
+	argFn func(any)
+	arg   any
+
+	seq      uint64 // insertion order, breaks ties deterministically
+	index    int    // heap index; negative once popped/canceled/freed
+	canceled bool
 }
 
-// Canceled reports whether the event was removed before firing.
-func (e *Event) Canceled() bool { return e.index == -2 }
+// Sentinel index values for events no longer in the heap.
+const (
+	idxPopped = -1 // removed by Pop, possibly running
+	idxFreed  = -2 // returned to the free list
+)
+
+// Call invokes the event's callback (either form; argFn wins).
+func (e *Event) Call() {
+	if e.argFn != nil {
+		e.argFn(e.arg)
+		return
+	}
+	if e.fn != nil {
+		e.fn()
+	}
+}
+
+// Handle identifies one scheduled event for cancellation. The zero
+// Handle is valid and refers to nothing. Because the Handle carries the
+// event's scheduling sequence number, it stays safe after the event
+// fires and its struct is recycled: Cancel and Pending treat a recycled
+// event as gone.
+type Handle struct {
+	e   *Event
+	seq uint64
+}
+
+// Pending reports whether the handled event is still queued (not yet
+// fired, canceled, or recycled).
+func (h Handle) Pending() bool {
+	return h.e != nil && h.e.seq == h.seq && h.e.index >= 0
+}
+
+// Canceled reports whether the handled event was removed before firing.
+// Once the event struct has been recycled into a new event the answer
+// degrades to false, matching Pending.
+func (h Handle) Canceled() bool {
+	return h.e != nil && h.e.seq == h.seq && h.e.canceled
+}
 
 // Queue is a min-heap of events ordered by (At, insertion order).
 // The zero value is an empty queue ready to use.
 type Queue struct {
-	h   eventHeap
-	seq uint64
+	h      eventHeap
+	seq    uint64
+	free   []*Event
+	noPool bool
 }
+
+// SetPooling toggles free-list reuse (on by default). Disabling it
+// makes every Schedule allocate a fresh Event — behaviorally identical,
+// just slower — which is how the pooling property tests get their
+// reference run.
+func (q *Queue) SetPooling(on bool) { q.noPool = !on }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.h) }
 
-// Schedule adds fn to run at virtual time at and returns the event handle,
+func (q *Queue) alloc() *Event {
+	if n := len(q.free); n > 0 && !q.noPool {
+		e := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+func (q *Queue) push(e *Event, at time.Duration) Handle {
+	e.At = at
+	e.seq = q.seq
+	e.canceled = false
+	q.seq++
+	heap.Push(&q.h, e)
+	return Handle{e: e, seq: e.seq}
+}
+
+// Schedule adds fn to run at virtual time at and returns a handle,
 // which can later be passed to Cancel. Scheduling in the past is allowed
 // (the simulator treats it as "run as soon as possible"); the caller is
 // responsible for monotonic clock discipline.
-func (q *Queue) Schedule(at time.Duration, fn func()) *Event {
-	e := &Event{At: at, Fn: fn, seq: q.seq}
-	q.seq++
-	heap.Push(&q.h, e)
-	return e
+func (q *Queue) Schedule(at time.Duration, fn func()) Handle {
+	e := q.alloc()
+	e.fn, e.argFn, e.arg = fn, nil, nil
+	return q.push(e, at)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op, so callers can cancel timers
-// unconditionally.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// ScheduleArg adds fn(arg) to run at virtual time at. Because fn can be
+// a long-lived callback and arg a pooled object, this form schedules
+// without allocating a closure — the simulator's packet hot path runs
+// entirely on it.
+func (q *Queue) ScheduleArg(at time.Duration, fn func(any), arg any) Handle {
+	e := q.alloc()
+	e.fn, e.argFn, e.arg = nil, fn, arg
+	return q.push(e, at)
+}
+
+// Cancel removes a pending event and recycles its struct. Canceling an
+// already-fired, already-canceled, or recycled handle is a no-op, so
+// callers can cancel timers unconditionally.
+func (q *Queue) Cancel(h Handle) {
+	e := h.e
+	if e == nil || e.seq != h.seq || e.index < 0 {
 		return
 	}
 	heap.Remove(&q.h, e.index)
-	e.index = -2
+	e.index = idxPopped
+	e.canceled = true
+	q.Release(e)
 }
 
 // Pop removes and returns the earliest event, or nil if the queue is
-// empty.
+// empty. The caller runs it (Call) and then must hand it back with
+// Release.
 func (q *Queue) Pop() *Event {
 	if len(q.h) == 0 {
 		return nil
 	}
 	return heap.Pop(&q.h).(*Event)
+}
+
+// Release returns a popped or canceled event to the free list. Events
+// still in the heap, nil events, and double releases are no-ops.
+func (q *Queue) Release(e *Event) {
+	if e == nil || e.index >= 0 || e.index == idxFreed {
+		return
+	}
+	e.fn, e.argFn, e.arg = nil, nil, nil
+	e.index = idxFreed
+	if q.noPool {
+		return
+	}
+	q.free = append(q.free, e)
 }
 
 // Peek returns the earliest pending event without removing it, or nil.
@@ -99,7 +205,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.index = -1
+	e.index = idxPopped
 	*h = old[:n-1]
 	return e
 }

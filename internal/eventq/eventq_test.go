@@ -7,6 +7,13 @@ import (
 	"time"
 )
 
+func drain(q *Queue) {
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Call()
+		q.Release(e)
+	}
+}
+
 func TestPopOrderByTime(t *testing.T) {
 	var q Queue
 	var got []int
@@ -15,9 +22,7 @@ func TestPopOrderByTime(t *testing.T) {
 		i := i
 		q.Schedule(at, func() { got = append(got, i) })
 	}
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		e.Fn()
-	}
+	drain(&q)
 	want := []int{1, 2, 0, 4, 3} // sorted by time 10,20,30,40,50
 	for i := range want {
 		if got[i] != want[i] {
@@ -33,9 +38,7 @@ func TestStableTieBreak(t *testing.T) {
 		i := i
 		q.Schedule(42, func() { got = append(got, i) })
 	}
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		e.Fn()
-	}
+	drain(&q)
 	for i, v := range got {
 		if v != i {
 			t.Fatalf("same-time events fired out of insertion order at %d: %v", i, got[:i+1])
@@ -46,17 +49,18 @@ func TestStableTieBreak(t *testing.T) {
 func TestCancel(t *testing.T) {
 	var q Queue
 	fired := false
-	e := q.Schedule(10, func() { fired = true })
-	q.Cancel(e)
-	if !e.Canceled() {
+	h := q.Schedule(10, func() { fired = true })
+	q.Cancel(h)
+	if !h.Canceled() {
 		t.Error("event not marked canceled")
+	}
+	if h.Pending() {
+		t.Error("canceled event still pending")
 	}
 	if q.Len() != 0 {
 		t.Errorf("queue length after cancel = %d, want 0", q.Len())
 	}
-	for ev := q.Pop(); ev != nil; ev = q.Pop() {
-		ev.Fn()
-	}
+	drain(&q)
 	if fired {
 		t.Error("canceled event fired")
 	}
@@ -64,27 +68,25 @@ func TestCancel(t *testing.T) {
 
 func TestCancelIsIdempotent(t *testing.T) {
 	var q Queue
-	e := q.Schedule(10, func() {})
-	q.Cancel(e)
-	q.Cancel(e) // must not panic
-	q.Cancel(nil)
+	h := q.Schedule(10, func() {})
+	q.Cancel(h)
+	q.Cancel(h)        // must not panic
+	q.Cancel(Handle{}) // zero handle is a no-op
 }
 
 func TestCancelMiddleKeepsOrder(t *testing.T) {
 	var q Queue
 	var got []time.Duration
-	var cancel *Event
+	var cancel Handle
 	for _, at := range []time.Duration{5, 3, 9, 1, 7} {
 		at := at
-		e := q.Schedule(at, func() { got = append(got, at) })
+		h := q.Schedule(at, func() { got = append(got, at) })
 		if at == 3 {
-			cancel = e
+			cancel = h
 		}
 	}
 	q.Cancel(cancel)
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		e.Fn()
-	}
+	drain(&q)
 	want := []time.Duration{1, 5, 7, 9}
 	if len(got) != len(want) {
 		t.Fatalf("got %v, want %v", got, want)
@@ -93,6 +95,89 @@ func TestCancelMiddleKeepsOrder(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("got %v, want %v", got, want)
 		}
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	// The ABA hazard of pooling: a handle kept past its event's firing
+	// must not cancel the unrelated event that reuses the struct.
+	var q Queue
+	stale := q.Schedule(1, func() {})
+	e := q.Pop()
+	e.Call()
+	q.Release(e)
+
+	fired := false
+	fresh := q.Schedule(2, func() { fired = true })
+	if !fresh.Pending() {
+		t.Fatal("fresh event not pending")
+	}
+	if stale.Pending() {
+		t.Error("stale handle reports the recycled event as its own")
+	}
+	q.Cancel(stale) // must be a no-op
+	drain(&q)
+	if !fired {
+		t.Error("stale handle canceled a recycled event")
+	}
+}
+
+func TestScheduleArg(t *testing.T) {
+	var q Queue
+	var got []int
+	record := func(a any) { got = append(got, a.(int)) }
+	q.ScheduleArg(20, record, 2)
+	q.ScheduleArg(10, record, 1)
+	drain(&q)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestPoolReusesReleasedEvents(t *testing.T) {
+	var q Queue
+	h := q.Schedule(1, func() {})
+	first := h.e
+	e := q.Pop()
+	e.Call()
+	q.Release(e)
+	q.Release(e) // double release must not duplicate the free entry
+	if len(q.free) != 1 {
+		t.Fatalf("free list has %d entries after double release, want 1", len(q.free))
+	}
+	h2 := q.Schedule(2, func() {})
+	if h2.e != first {
+		t.Error("released event was not reused")
+	}
+	h3 := q.Schedule(3, func() {})
+	if h3.e == first {
+		t.Error("one freed event satisfied two Schedules")
+	}
+}
+
+func TestSetPoolingOffDisablesReuse(t *testing.T) {
+	var q Queue
+	q.SetPooling(false)
+	h := q.Schedule(1, func() {})
+	first := h.e
+	e := q.Pop()
+	q.Release(e)
+	if h2 := q.Schedule(2, func() {}); h2.e == first {
+		t.Error("pooling disabled but event was reused")
+	}
+}
+
+func TestSetPoolingOffSkipsExistingFreeList(t *testing.T) {
+	// Disabling pooling after events were already released must still
+	// disable reuse: the free list is bypassed, not just stopped from
+	// growing.
+	var q Queue
+	h := q.Schedule(1, func() {})
+	first := h.e
+	q.Release(q.Pop())
+	q.SetPooling(false)
+	if h2 := q.Schedule(2, func() {}); h2.e == first {
+		t.Error("pooling disabled but a previously-freed event was reused")
 	}
 }
 
@@ -123,13 +208,13 @@ func TestRandomizedOrderingProperty(t *testing.T) {
 	// out in nondecreasing time order.
 	rnd := rand.New(rand.NewSource(1))
 	var q Queue
-	var handles []*Event
+	var handles []Handle
 	var want []time.Duration
 	for i := 0; i < 5000; i++ {
 		at := time.Duration(rnd.Intn(1000))
-		e := q.Schedule(at, func() {})
+		h := q.Schedule(at, func() {})
 		if rnd.Intn(10) == 0 {
-			handles = append(handles, e)
+			handles = append(handles, h)
 		} else {
 			want = append(want, at)
 		}
@@ -141,6 +226,7 @@ func TestRandomizedOrderingProperty(t *testing.T) {
 	var got []time.Duration
 	for e := q.Pop(); e != nil; e = q.Pop() {
 		got = append(got, e.At)
+		q.Release(e)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("popped %d events, want %d", len(got), len(want))
@@ -160,22 +246,43 @@ func TestScheduleDuringDrain(t *testing.T) {
 		got = append(got, 1)
 		q.Schedule(2, func() { got = append(got, 2) })
 	})
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		e.Fn()
-	}
+	drain(&q)
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("got %v, want [1 2]", got)
 	}
 }
 
+func TestSteadyStateSchedulingAllocates(t *testing.T) {
+	// With pooling on and every popped event released, steady-state
+	// schedule/pop cycles must not allocate at all.
+	var q Queue
+	for i := 0; i < 1024; i++ {
+		q.Schedule(time.Duration(i), nil)
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		e := q.Pop()
+		q.Release(e)
+		q.Schedule(e.At+1024, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule/pop allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// BenchmarkScheduleAndPop measures the event-scheduling hot path at a
+// steady queue depth: pop one, release it, schedule the next. With the
+// free list this is the simulator's zero-allocation core loop.
 func BenchmarkScheduleAndPop(b *testing.B) {
 	rnd := rand.New(rand.NewSource(7))
 	var q Queue
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	for i := 0; i < 1024; i++ {
 		q.Schedule(time.Duration(rnd.Intn(1<<20)), nil)
-		if q.Len() > 1024 {
-			q.Pop()
-		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Pop()
+		q.Release(e)
+		q.Schedule(e.At+time.Duration(rnd.Intn(1<<20)), nil)
 	}
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"abw/internal/core"
 	"abw/internal/rng"
@@ -10,6 +11,13 @@ import (
 	"abw/internal/scenario"
 	"abw/internal/tools/registry"
 )
+
+// matrixRecorderEpoch is the aggregate ground-truth granularity of the
+// matrix runs. The matrix only consumes the analytic (spec-derived)
+// truth, so the recorders exist purely as bounded diagnostics: per-epoch
+// counters keep the many long-horizon compilations from holding one
+// Arrival row per cross-traffic packet each.
+const matrixRecorderEpoch = 100 * time.Millisecond
 
 // MatrixConfig parameterizes the tools×scenarios matrix: every
 // registered end-to-end estimator against every cataloged scenario.
@@ -104,7 +112,7 @@ func Matrix(cfg MatrixConfig) (*MatrixResult, error) {
 		if !ok {
 			return nil, fmt.Errorf("exp: matrix: unknown scenario %q (have %v)", name, scenario.Names())
 		}
-		cpl, err := d.CompileSeeded(c.Seed)
+		cpl, err := d.CompileSeededAggregate(c.Seed, matrixRecorderEpoch)
 		if err != nil {
 			return nil, fmt.Errorf("exp: matrix: %s: %w", name, err)
 		}
@@ -123,7 +131,7 @@ func Matrix(cfg MatrixConfig) (*MatrixResult, error) {
 		si, ti := job/len(c.Tools), job%len(c.Tools)
 		name, tool := c.Scenarios[si], c.Tools[ti]
 		d, _ := scenario.Lookup(name)
-		cpl, err := d.CompileSeeded(c.Seed)
+		cpl, err := d.CompileSeededAggregate(c.Seed, matrixRecorderEpoch)
 		if err != nil {
 			return MatrixCell{}, fmt.Errorf("exp: matrix: %s: %w", name, err)
 		}

@@ -19,23 +19,24 @@ func SendOverSim(s *sim.Sim, route []*sim.Link, spec StreamSpec, at time.Duratio
 		return nil, err
 	}
 	rec := NewRecord(spec)
+	// One pair of callbacks serves the whole stream (the arrival reads
+	// the sequence number off the packet), and the packets themselves
+	// come from the simulation's free list: they are recycled as soon as
+	// the callbacks return, so probing allocates per stream, not per
+	// packet.
+	onArrive := func(p *sim.Packet, t time.Duration) {
+		rec.Recv[p.Seq] = t
+		rec.MarkResolved()
+	}
+	onDrop := func(*sim.Packet, *sim.Link, time.Duration) {
+		rec.MarkResolved()
+	}
 	for i, d := range deps {
-		i := i
 		rec.Sent[i] = at + d
-		s.Inject(&sim.Packet{
-			Size:  spec.PktSize,
-			Kind:  sim.KindProbe,
-			Flow:  flow,
-			Seq:   i,
-			Route: route,
-			OnArrive: func(p *sim.Packet, t time.Duration) {
-				rec.Recv[p.Seq] = t
-				rec.MarkResolved()
-			},
-			OnDrop: func(*sim.Packet, *sim.Link, time.Duration) {
-				rec.MarkResolved()
-			},
-		}, at+d)
+		p := s.NewPacket()
+		p.Size, p.Kind, p.Flow, p.Seq, p.Route = spec.PktSize, sim.KindProbe, flow, i, route
+		p.OnArrive, p.OnDrop = onArrive, onDrop
+		s.Inject(p, at+d)
 	}
 	return rec, nil
 }

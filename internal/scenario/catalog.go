@@ -32,6 +32,19 @@ func (d Descriptor) CompileSeeded(seed uint64) (*Compiled, error) {
 	return Compile(sp)
 }
 
+// CompileSeededAggregate is CompileSeeded with every hop's ground-truth
+// recorder in bounded aggregate mode (per-epoch counters instead of
+// per-packet rows) — for consumers like the tools×scenarios matrix that
+// run long horizons and never query per-packet ground truth. Recorder
+// mode never changes packet-level behavior, so results are bit-identical
+// to a CompileSeeded run.
+func (d Descriptor) CompileSeededAggregate(seed uint64, epoch time.Duration) (*Compiled, error) {
+	sp := d.Spec
+	sp.Seed = Seed(seed)
+	sp.RecorderEpoch = epoch
+	return Compile(sp)
+}
+
 // catalog holds the registered scenarios in registration order — the
 // canonical presentation order used by CLIs and the matrix experiment.
 var catalog []Descriptor

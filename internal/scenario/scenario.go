@@ -169,6 +169,15 @@ type Spec struct {
 	// ReversePropDelay is the reverse link propagation latency
 	// (default 1 ms).
 	ReversePropDelay time.Duration
+	// RecorderEpoch, when positive, compiles every hop's ground-truth
+	// recorder in bounded aggregate mode with this epoch: per-epoch
+	// byte/busy counters instead of per-packet arrival rows, so memory
+	// stays Horizon/RecorderEpoch regardless of packet count. Long-run
+	// scenarios (and consumers that only need coarse ground truth, like
+	// the tools×scenarios matrix) opt in; per-packet queries
+	// (Recorder.Arrivals/BusyIntervals) are then unavailable and
+	// sub-epoch windows are pro-rated.
+	RecorderEpoch time.Duration
 }
 
 // Compiled is a realized scenario: the simulation, the path with a
@@ -243,6 +252,9 @@ func Compile(spec Spec) (*Compiled, error) {
 	if resolved.ReversePropDelay == 0 {
 		resolved.ReversePropDelay = time.Millisecond
 	}
+	if resolved.RecorderEpoch < 0 {
+		return nil, fmt.Errorf("scenario: negative recorder epoch %v", resolved.RecorderEpoch)
+	}
 	seed := DefaultSeed
 	if resolved.Seed != nil {
 		seed = *resolved.Seed
@@ -262,7 +274,11 @@ func Compile(spec Spec) (*Compiled, error) {
 		}
 		links[h] = s.NewLink(fmt.Sprintf("hop%d", h), hop.Capacity, prop)
 		links[h].BufferBytes = hop.Buffer
-		recs[h] = sim.NewRecorder(hop.Capacity)
+		if resolved.RecorderEpoch > 0 {
+			recs[h] = sim.NewAggregateRecorder(hop.Capacity, resolved.RecorderEpoch)
+		} else {
+			recs[h] = sim.NewRecorder(hop.Capacity)
+		}
 		links[h].Attach(recs[h])
 		for _, src := range hop.Traffic {
 			if src.Kind == Mice || src.Kind == BufferLimitedTCP {
@@ -554,7 +570,9 @@ func replayTrace(s *sim.Sim, route []*sim.Link, tr *trace.Trace, flow int, from,
 			if at >= until {
 				break
 			}
-			s.Inject(&sim.Packet{Size: p.Size, Kind: sim.KindCross, Flow: flow, Route: route}, at)
+			pkt := s.NewPacket()
+			pkt.Size, pkt.Kind, pkt.Flow, pkt.Route = p.Size, sim.KindCross, flow, route
+			s.Inject(pkt, at)
 		}
 		if next := start + tr.Span; next < until {
 			s.At(next, func() { tile(next) })

@@ -29,6 +29,11 @@ type Link struct {
 	queuedBytes unit.Bytes
 	busy        bool
 
+	// txPkt/txStart describe the packet in service, read back by txDone
+	// so the transmission-complete event needs no per-packet closure.
+	txPkt   *Packet
+	txStart time.Duration
+
 	// Statistics.
 	forwarded   int64
 	dropped     int64
@@ -85,6 +90,7 @@ func (l *Link) deliver(p *Packet) {
 		if p.OnDrop != nil {
 			p.OnDrop(p, l, now)
 		}
+		l.sim.releasePacket(p)
 		return
 	}
 	l.push(p)
@@ -94,38 +100,43 @@ func (l *Link) deliver(p *Packet) {
 	}
 }
 
-// startTx begins transmitting the head-of-line packet.
+// startTx begins transmitting the head-of-line packet. The completion
+// event carries only the link: txDone reads the in-service packet back
+// from the link, so steady-state forwarding schedules no closures.
 func (l *Link) startTx() {
 	p := l.pop()
 	l.queuedBytes -= p.Size
 	l.busy = true
-	start := l.sim.now
-	txEnd := start + unit.TxTime(p.Size, l.Capacity)
-	l.sim.At(txEnd, func() {
-		l.forwarded++
-		l.bytesServed += p.Size
-		if l.rec != nil {
-			l.rec.busyInterval(start, txEnd)
-		}
-		// Hand off to the next hop after propagation. Propagation is
-		// pipelined: the link can transmit the next packet while this
-		// one is in flight.
-		if l.PropDelay == 0 {
-			l.advance(p)
-		} else {
-			l.sim.At(txEnd+l.PropDelay, func() { l.advance(p) })
-		}
-		if l.QueueLen() > 0 {
-			l.startTx()
-		} else {
-			l.busy = false
-		}
-	})
+	l.txPkt = p
+	l.txStart = l.sim.now
+	l.sim.callbacks()
+	l.sim.atArg(l.txStart+unit.TxTime(p.Size, l.Capacity), l.sim.txDoneFn, l)
 }
 
-func (l *Link) advance(p *Packet) {
-	p.hop++
-	l.sim.forward(p)
+// txDone completes the in-service packet's transmission at the current
+// virtual time (the scheduled tx-end instant).
+func (l *Link) txDone() {
+	p, start, txEnd := l.txPkt, l.txStart, l.sim.now
+	l.txPkt = nil
+	l.forwarded++
+	l.bytesServed += p.Size
+	if l.rec != nil {
+		l.rec.busyInterval(start, txEnd)
+	}
+	// Hand off to the next hop after propagation. Propagation is
+	// pipelined: the link can transmit the next packet while this
+	// one is in flight.
+	if l.PropDelay == 0 {
+		p.hop++
+		l.sim.forward(p)
+	} else {
+		l.sim.atArg(txEnd+l.PropDelay, l.sim.advanceFn, p)
+	}
+	if l.QueueLen() > 0 {
+		l.startTx()
+	} else {
+		l.busy = false
+	}
 }
 
 // push/pop implement an amortized O(1) FIFO over a slice, compacting when

@@ -16,6 +16,10 @@ const (
 	KindProbe             // measurement probe packets
 	KindData              // TCP data segments
 	KindAck               // TCP acknowledgments
+
+	// kindSentinel terminates the enum. New kinds go above it, so the
+	// recorder's per-kind counters size themselves automatically.
+	kindSentinel
 )
 
 // String returns a short name for the kind.
@@ -64,20 +68,24 @@ type Packet struct {
 
 	// Meta carries protocol-private state (e.g. TCP segment headers).
 	Meta any
+
+	// pooled marks packets obtained from Sim.NewPacket: they return to
+	// the simulation's free list after their final OnArrive/OnDrop.
+	pooled bool
 }
 
 // Inject introduces the packet into the simulation at time at, delivering
 // it to the first link of its route (or straight to OnArrive for an empty
-// route, which models a zero-length path).
+// route, which models a zero-length path). The injection event is
+// allocation-free: it reuses a pooled event with the simulation's
+// long-lived injection callback.
 func (s *Sim) Inject(p *Packet, at time.Duration) {
-	s.At(at, func() {
-		p.SentAt = s.now
-		p.hop = 0
-		s.forward(p)
-	})
+	s.callbacks()
+	s.atArg(at, s.injectFn, p)
 }
 
-// forward moves the packet into the next element of its route.
+// forward moves the packet into the next element of its route. Packets
+// from NewPacket are recycled once the final OnArrive returns.
 func (s *Sim) forward(p *Packet) {
 	if p.hop < len(p.Route) {
 		p.Route[p.hop].deliver(p)
@@ -86,4 +94,5 @@ func (s *Sim) forward(p *Packet) {
 	if p.OnArrive != nil {
 		p.OnArrive(p, s.now)
 	}
+	s.releasePacket(p)
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"abw/internal/unit"
@@ -19,55 +20,220 @@ type Interval struct {
 	Start, End time.Duration
 }
 
+// kindCount sizes the per-kind byte counters of the aggregate mode,
+// derived from the Kind enum's sentinel so a new kind extends the bins
+// automatically.
+const kindCount = int(kindSentinel)
+
+// epochBin is one epoch of aggregate-mode ground truth: how long the
+// transmitter was busy and how many bytes of each kind arrived.
+type epochBin struct {
+	busy  time.Duration
+	bytes [kindCount]unit.Bytes
+}
+
 // Recorder captures the ground truth needed to compute the paper's
 // Equations (1)–(3) exactly after a run: every arrival at the link input
 // and every transmitter busy interval. Experiments attach a Recorder to
 // the tight link and derive the population avail-bw process from it.
+//
+// Two representations are maintained for queries:
+//
+//   - Full mode (NewRecorder): per-packet arrival rows and merged busy
+//     intervals, each paired with an index — cumulative busy-time
+//     prefix sums and the time-sorted arrival offsets — so Utilization,
+//     AvailBw and ArrivalRate answer with O(log n) binary searches
+//     instead of scans from the head of history.
+//   - Aggregate mode (NewAggregateRecorder): bounded per-epoch byte and
+//     busy-time counters instead of per-packet rows, for long-horizon
+//     runs where per-packet ground truth would dominate memory. Windows
+//     not aligned to the epoch grid are pro-rated within the boundary
+//     epochs; Arrivals and BusyIntervals are unavailable (nil).
 type Recorder struct {
 	Capacity unit.Rate
 
 	arrivals []Arrival
 	busy     []Interval
-	drops    int64
+	// cum[i] is the total busy time through busy[i] (inclusive): the
+	// prefix-sum index behind the O(log n) utilization queries.
+	cum   []time.Duration
+	drops int64
+
+	// epoch > 0 selects aggregate mode.
+	epoch time.Duration
+	bins  []epochBin
 }
 
-// NewRecorder returns a recorder for a link of the given capacity.
+// NewRecorder returns a full (per-packet) recorder for a link of the
+// given capacity.
 func NewRecorder(capacity unit.Rate) *Recorder {
 	return &Recorder{Capacity: capacity}
 }
 
+// NewAggregateRecorder returns a bounded recorder that aggregates
+// ground truth into epochs of the given length: memory is
+// horizon/epoch bins regardless of packet count. It panics on a
+// non-positive epoch.
+func NewAggregateRecorder(capacity unit.Rate, epoch time.Duration) *Recorder {
+	if epoch <= 0 {
+		panic(fmt.Sprintf("sim: aggregate recorder epoch %v must be positive", epoch))
+	}
+	return &Recorder{Capacity: capacity, epoch: epoch}
+}
+
+// Aggregated reports whether the recorder runs in bounded aggregate
+// mode.
+func (r *Recorder) Aggregated() bool { return r.epoch > 0 }
+
+// Epoch returns the aggregation epoch (0 in full mode).
+func (r *Recorder) Epoch() time.Duration { return r.epoch }
+
+// bin returns the aggregate bin covering time at, growing the bin slice
+// as the clock advances.
+func (r *Recorder) bin(at time.Duration) *epochBin {
+	idx := int(at / r.epoch)
+	for len(r.bins) <= idx {
+		r.bins = append(r.bins, epochBin{})
+	}
+	return &r.bins[idx]
+}
+
 func (r *Recorder) arrival(at time.Duration, p *Packet) {
+	if r.epoch > 0 {
+		// An out-of-range Kind fails the bounds check loudly rather than
+		// being misattributed to another kind's counter.
+		r.bin(at).bytes[p.Kind] += p.Size
+		return
+	}
 	r.arrivals = append(r.arrivals, Arrival{At: at, Size: p.Size, Kind: p.Kind})
 }
 
 func (r *Recorder) drop(time.Duration, *Packet) { r.drops++ }
 
 func (r *Recorder) busyInterval(start, end time.Duration) {
+	if r.epoch > 0 {
+		// Split the interval across epoch boundaries so each bin's busy
+		// time is exact.
+		for start < end {
+			b := r.bin(start)
+			edge := (start/r.epoch + 1) * r.epoch
+			if edge > end {
+				edge = end
+			}
+			b.busy += edge - start
+			start = edge
+		}
+		return
+	}
 	// Merge with the previous interval when transmissions are
 	// back-to-back, keeping the slice compact during congested periods.
 	if n := len(r.busy); n > 0 && r.busy[n-1].End == start {
 		r.busy[n-1].End = end
+		r.cum[n-1] += end - start
 		return
 	}
+	var base time.Duration
+	if n := len(r.cum); n > 0 {
+		base = r.cum[n-1]
+	}
 	r.busy = append(r.busy, Interval{Start: start, End: end})
+	r.cum = append(r.cum, base+(end-start))
 }
 
 // Arrivals returns the recorded arrivals (shared slice; treat as
-// read-only).
+// read-only). Aggregate recorders return nil: per-packet rows are
+// exactly what that mode does not keep.
 func (r *Recorder) Arrivals() []Arrival { return r.arrivals }
 
 // BusyIntervals returns the recorded busy intervals (shared slice; treat
-// as read-only).
+// as read-only). Nil for aggregate recorders.
 func (r *Recorder) BusyIntervals() []Interval { return r.busy }
 
 // Drops returns the number of recorded drops.
 func (r *Recorder) Drops() int64 { return r.drops }
 
-// Reset clears the recorded history, keeping the capacity.
+// Reset clears the recorded history, keeping the capacity and mode. The
+// backing storage is detached, not truncated: slices previously handed
+// out by Arrivals/BusyIntervals keep their contents instead of being
+// silently overwritten by post-Reset recording.
 func (r *Recorder) Reset() {
-	r.arrivals = r.arrivals[:0]
-	r.busy = r.busy[:0]
+	r.arrivals = nil
+	r.busy = nil
+	r.cum = nil
+	r.bins = nil
 	r.drops = 0
+}
+
+// busyTime returns the transmitter's total busy time within [from, to).
+func (r *Recorder) busyTime(from, to time.Duration) time.Duration {
+	if r.epoch > 0 {
+		return r.busyTimeBins(from, to)
+	}
+	n := len(r.busy)
+	// First interval ending after the window opens, first interval
+	// starting at/after it closes: everything in between overlaps.
+	i0 := sort.Search(n, func(i int) bool { return r.busy[i].End > from })
+	i1 := sort.Search(n, func(i int) bool { return r.busy[i].Start >= to })
+	if i0 >= i1 {
+		return 0
+	}
+	total := r.cum[i1-1]
+	if i0 > 0 {
+		total -= r.cum[i0-1]
+	}
+	if s := r.busy[i0].Start; s < from {
+		total -= from - s
+	}
+	if e := r.busy[i1-1].End; e > to {
+		total -= e - to
+	}
+	return total
+}
+
+// forEachBin visits every aggregate bin overlapping [from, to),
+// passing the bin and the fraction of it the window covers (1 for
+// fully-contained bins). Callers pro-rate their counters by frac —
+// exact on epoch-aligned windows, an approximation at the boundary
+// epochs otherwise.
+func (r *Recorder) forEachBin(from, to time.Duration, visit func(b *epochBin, frac float64)) {
+	i := int(from / r.epoch)
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(r.bins); i++ {
+		bs := time.Duration(i) * r.epoch
+		if bs >= to {
+			break
+		}
+		lo, hi := bs, bs+r.epoch
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if lo >= hi {
+			continue
+		}
+		frac := 1.0
+		if hi-lo != r.epoch {
+			frac = float64(hi-lo) / float64(r.epoch)
+		}
+		visit(&r.bins[i], frac)
+	}
+}
+
+// busyTimeBins is busyTime over the aggregate bins.
+func (r *Recorder) busyTimeBins(from, to time.Duration) time.Duration {
+	var total time.Duration
+	r.forEachBin(from, to, func(b *epochBin, frac float64) {
+		if frac == 1 {
+			total += b.busy
+			return
+		}
+		total += time.Duration(float64(b.busy) * frac)
+	})
+	return total
 }
 
 // Utilization returns u(from, from+window): the fraction of the window
@@ -77,25 +243,7 @@ func (r *Recorder) Utilization(from time.Duration, window time.Duration) float64
 	if window <= 0 {
 		panic(fmt.Sprintf("sim: utilization window %v must be positive", window))
 	}
-	to := from + window
-	var busy time.Duration
-	for _, iv := range r.busy {
-		if iv.End <= from {
-			continue
-		}
-		if iv.Start >= to {
-			break
-		}
-		s, e := iv.Start, iv.End
-		if s < from {
-			s = from
-		}
-		if e > to {
-			e = to
-		}
-		busy += e - s
-	}
-	return float64(busy) / float64(window)
+	return float64(r.busyTime(from, from+window)) / float64(window)
 }
 
 // AvailBw returns A(from, from+window) = C·(1−u) per paper Equation (2).
@@ -120,22 +268,44 @@ func (r *Recorder) AvailBwSeries(from, to, tau time.Duration) []unit.Rate {
 // ArrivalRate returns the average arrival rate of packets matching keep
 // (nil = all kinds) over [from, from+window). This is the fluid-view
 // cross-traffic rate R_c; in a stable (non-overloaded) window it agrees
-// with C·u up to edge effects, and tests assert that agreement.
+// with C·u up to edge effects, and tests assert that agreement. In
+// aggregate mode the rate comes from the epoch byte counters,
+// pro-rating the window's partial boundary epochs.
 func (r *Recorder) ArrivalRate(from, window time.Duration, keep func(Kind) bool) unit.Rate {
 	if window <= 0 {
 		panic(fmt.Sprintf("sim: arrival-rate window %v must be positive", window))
 	}
 	to := from + window
+	if r.epoch > 0 {
+		return unit.RateOf(r.bytesBins(from, to, keep), window)
+	}
+	// Arrivals are recorded in nondecreasing time order, so the window
+	// is a contiguous run found by binary search.
+	n := len(r.arrivals)
+	lo := sort.Search(n, func(i int) bool { return r.arrivals[i].At >= from })
+	hi := sort.Search(n, func(i int) bool { return r.arrivals[i].At >= to })
 	var bytes unit.Bytes
-	for _, a := range r.arrivals {
-		if a.At < from || a.At >= to {
-			continue
-		}
+	for _, a := range r.arrivals[lo:hi] {
 		if keep == nil || keep(a.Kind) {
 			bytes += a.Size
 		}
 	}
 	return unit.RateOf(bytes, window)
+}
+
+// bytesBins sums the aggregate byte counters over [from, to).
+func (r *Recorder) bytesBins(from, to time.Duration, keep func(Kind) bool) unit.Bytes {
+	var total float64
+	r.forEachBin(from, to, func(b *epochBin, frac float64) {
+		var bytes unit.Bytes
+		for k := 0; k < kindCount; k++ {
+			if keep == nil || keep(Kind(k)) {
+				bytes += b.bytes[k]
+			}
+		}
+		total += float64(bytes) * frac
+	})
+	return unit.Bytes(total)
 }
 
 // CrossOnly is a keep filter selecting cross traffic.

@@ -136,6 +136,138 @@ func TestRecorderReset(t *testing.T) {
 	}
 }
 
+func TestResetDetachesHandedOutSlices(t *testing.T) {
+	// Regression: Reset used to truncate to [:0], so recording after a
+	// Reset overwrote memory a caller still held from Arrivals() or
+	// BusyIntervals(). The captured history must survive intact.
+	rec := cbrScenario(t, 50*unit.Mbps, 25*unit.Mbps, 1500, 50*time.Millisecond)
+	arr := rec.Arrivals()
+	busy := rec.BusyIntervals()
+	if len(arr) == 0 || len(busy) == 0 {
+		t.Fatal("setup recorded nothing")
+	}
+	wantArr := make([]Arrival, len(arr))
+	copy(wantArr, arr)
+	wantBusy := make([]Interval, len(busy))
+	copy(wantBusy, busy)
+
+	rec.Reset()
+	// Record a fresh, different history into the same recorder.
+	s := New()
+	l := s.NewLink("l", 50*unit.Mbps, 0)
+	l.Attach(rec)
+	for i := 0; i < len(wantArr)+4; i++ {
+		s.Inject(&Packet{Size: 40, Kind: KindProbe, Route: []*Link{l}}, time.Duration(i)*time.Millisecond)
+	}
+	s.Run()
+
+	for i := range wantArr {
+		if arr[i] != wantArr[i] {
+			t.Fatalf("captured arrival %d overwritten after Reset: got %+v, want %+v", i, arr[i], wantArr[i])
+		}
+	}
+	for i := range wantBusy {
+		if busy[i] != wantBusy[i] {
+			t.Fatalf("captured busy interval %d overwritten after Reset: got %+v, want %+v", i, busy[i], wantBusy[i])
+		}
+	}
+}
+
+func TestAggregateRecorderMatchesFullOnAlignedWindows(t *testing.T) {
+	// Drive two identical runs, one recorded per-packet and one
+	// aggregated into 10 ms epochs: on epoch-aligned windows the two
+	// must agree exactly — the bins hold exact byte and busy sums.
+	run := func(rec *Recorder) {
+		s := New()
+		l := s.NewLink("l", 50*unit.Mbps, 0)
+		l.Attach(rec)
+		gap := unit.GapFor(1500, 25*unit.Mbps)
+		for at := time.Duration(0); at < time.Second; at += gap {
+			s.Inject(&Packet{Size: 1500, Kind: KindCross, Route: []*Link{l}}, at)
+		}
+		s.Run()
+	}
+	full := NewRecorder(50 * unit.Mbps)
+	agg := NewAggregateRecorder(50*unit.Mbps, 10*time.Millisecond)
+	run(full)
+	run(agg)
+	if !agg.Aggregated() || agg.Epoch() != 10*time.Millisecond {
+		t.Fatal("aggregate recorder misconfigured")
+	}
+	if agg.Arrivals() != nil || agg.BusyIntervals() != nil {
+		t.Error("aggregate mode must not expose per-packet rows")
+	}
+	for _, w := range []struct{ from, win time.Duration }{
+		{0, time.Second},
+		{100 * time.Millisecond, 500 * time.Millisecond},
+		{250 * time.Millisecond, 10 * time.Millisecond},
+	} {
+		uf := full.Utilization(w.from, w.win)
+		ua := agg.Utilization(w.from, w.win)
+		if math.Abs(uf-ua) > 1e-12 {
+			t.Errorf("utilization(%v,%v): full %g, aggregate %g", w.from, w.win, uf, ua)
+		}
+		rf := full.ArrivalRate(w.from, w.win, CrossOnly)
+		ra := agg.ArrivalRate(w.from, w.win, CrossOnly)
+		if math.Abs(float64(rf-ra)) > 1e-6*float64(rf) {
+			t.Errorf("arrival rate(%v,%v): full %v, aggregate %v", w.from, w.win, rf, ra)
+		}
+	}
+}
+
+func TestAggregateRecorderProRatesUnalignedWindows(t *testing.T) {
+	// A transmitter busy for exactly the first half of every 10 ms epoch
+	// pro-rates to utilization 0.5 on any window, aligned or not.
+	rec := NewAggregateRecorder(10*unit.Mbps, 10*time.Millisecond)
+	for e := time.Duration(0); e < 100*time.Millisecond; e += 10 * time.Millisecond {
+		rec.busyInterval(e, e+5*time.Millisecond)
+	}
+	if u := rec.Utilization(3*time.Millisecond, 81*time.Millisecond); math.Abs(u-0.5) > 0.05 {
+		t.Errorf("pro-rated utilization = %g, want ~0.5", u)
+	}
+}
+
+func TestAggregateRecorderPanicsOnBadEpoch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive epoch did not panic")
+		}
+	}()
+	NewAggregateRecorder(unit.Mbps, 0)
+}
+
+func TestIndexedUtilizationMatchesLinearScan(t *testing.T) {
+	// Property check of the prefix-sum + binary-search query against the
+	// obvious linear scan, over many random windows.
+	rec := cbrScenario(t, 50*unit.Mbps, 35*unit.Mbps, 1500, time.Second)
+	linear := func(from, to time.Duration) time.Duration {
+		var busy time.Duration
+		for _, iv := range rec.BusyIntervals() {
+			if iv.End <= from || iv.Start >= to {
+				continue
+			}
+			s, e := iv.Start, iv.End
+			if s < from {
+				s = from
+			}
+			if e > to {
+				e = to
+			}
+			busy += e - s
+		}
+		return busy
+	}
+	for i := 0; i < 500; i++ {
+		from := time.Duration(i) * 1873 * time.Microsecond % time.Second
+		win := time.Duration(i%97+1) * 3 * time.Millisecond
+		got := rec.busyTime(from, from+win)
+		want := linear(from, from+win)
+		if got != want {
+			t.Fatalf("busyTime(%v,%v) = %v, want %v", from, win, got, want)
+		}
+	}
+}
+
 func TestUtilizationPanicsOnBadWindow(t *testing.T) {
 	rec := NewRecorder(unit.Mbps)
 	defer func() {

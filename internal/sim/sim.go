@@ -10,6 +10,13 @@
 // path; the avail-bw of link i over (t, t+τ) is C_i·(1 − u_i(t, t+τ))
 // where u is the fraction of time the link's transmitter is busy
 // (Equations 1–2).
+//
+// The scheduling and forwarding hot path is allocation-free in steady
+// state: events live in the queue's free list, packets obtained with
+// NewPacket live in a per-Sim free list and are recycled after their
+// final OnArrive/OnDrop, and the per-packet transmission/propagation
+// callbacks are long-lived argument-taking functions rather than fresh
+// closures.
 package sim
 
 import (
@@ -25,57 +32,94 @@ type Sim struct {
 	q       eventq.Queue
 	now     time.Duration
 	stopped bool
+
+	pktFree []*Packet
+	noPool  bool
+
+	// Long-lived callbacks for the packet hot path, built once so
+	// scheduling them never allocates a closure.
+	injectFn  func(any)
+	advanceFn func(any)
+	txDoneFn  func(any)
 }
 
 // New returns an empty simulation.
 func New() *Sim { return &Sim{} }
+
+// SetPooling toggles event and packet reuse (on by default). A run with
+// pooling disabled is bit-identical to a pooled run — the free lists
+// never change scheduling order — just slower; the property tests use
+// the disabled mode as their reference.
+func (s *Sim) SetPooling(on bool) {
+	s.noPool = !on
+	s.q.SetPooling(on)
+}
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
 
 // At schedules fn at absolute virtual time t. Scheduling strictly in the
 // past panics: it would silently reorder causality.
-func (s *Sim) At(t time.Duration, fn func()) *eventq.Event {
+func (s *Sim) At(t time.Duration, fn func()) eventq.Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	return s.q.Schedule(t, fn)
 }
 
+// atArg is At for the closure-free hot path: fn is one of the Sim's
+// long-lived callbacks, arg the packet or link it applies to.
+func (s *Sim) atArg(t time.Duration, fn func(any), arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.q.ScheduleArg(t, fn, arg)
+}
+
 // After schedules fn d after the current time.
-func (s *Sim) After(d time.Duration, fn func()) *eventq.Event {
+func (s *Sim) After(d time.Duration, fn func()) eventq.Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
-// Cancel cancels a pending event.
-func (s *Sim) Cancel(e *eventq.Event) { s.q.Cancel(e) }
+// Cancel cancels a pending event. Stale handles (fired, canceled, or
+// recycled events) are no-ops.
+func (s *Sim) Cancel(h eventq.Handle) { s.q.Cancel(h) }
 
 // Stop makes Run/RunUntil return after the currently executing event.
+// Called before Run/RunUntil, it sticks: the next run returns
+// immediately without executing anything, then the stop is consumed.
 func (s *Sim) Stop() { s.stopped = true }
 
 // Run executes events until the queue drains or Stop is called.
 func (s *Sim) Run() {
-	s.stopped = false
+	if s.stopped {
+		s.stopped = false
+		return
+	}
 	for !s.stopped {
 		e := s.q.Pop()
 		if e == nil {
-			return
+			break
 		}
 		s.now = e.At
-		if e.Fn != nil {
-			e.Fn()
-		}
+		e.Call()
+		s.q.Release(e)
 	}
+	s.stopped = false
 }
 
 // RunUntil executes events with timestamps <= t, then sets the clock to
 // t. Events scheduled beyond t stay pending, so simulations can be
-// advanced in measured slices.
+// advanced in measured slices. A pending Stop makes it return
+// immediately, clock untouched.
 func (s *Sim) RunUntil(t time.Duration) {
-	s.stopped = false
+	if s.stopped {
+		s.stopped = false
+		return
+	}
 	for !s.stopped {
 		e := s.q.Peek()
 		if e == nil || e.At > t {
@@ -83,10 +127,10 @@ func (s *Sim) RunUntil(t time.Duration) {
 		}
 		s.q.Pop()
 		s.now = e.At
-		if e.Fn != nil {
-			e.Fn()
-		}
+		e.Call()
+		s.q.Release(e)
 	}
+	s.stopped = false
 	if t > s.now {
 		s.now = t
 	}
@@ -94,3 +138,58 @@ func (s *Sim) RunUntil(t time.Duration) {
 
 // Pending returns the number of queued events, for tests and leak checks.
 func (s *Sim) Pending() int { return s.q.Len() }
+
+// callbacks lazily builds the hot-path method-value callbacks, keeping
+// the zero Sim usable.
+func (s *Sim) callbacks() {
+	if s.injectFn == nil {
+		s.injectFn = s.injectNow
+		s.advanceFn = s.advancePacket
+		s.txDoneFn = txDoneLink
+	}
+}
+
+func (s *Sim) injectNow(arg any) {
+	p := arg.(*Packet)
+	p.SentAt = s.now
+	p.hop = 0
+	s.forward(p)
+}
+
+func (s *Sim) advancePacket(arg any) {
+	p := arg.(*Packet)
+	p.hop++
+	s.forward(p)
+}
+
+func txDoneLink(arg any) { arg.(*Link).txDone() }
+
+// NewPacket returns a packet from the simulation's free list (or a
+// fresh one), zeroed and marked for recycling: after its final
+// OnArrive or OnDrop callback returns, the packet goes back to the pool
+// and must not be retained. Callers that keep packets alive past
+// delivery (e.g. protocol state machines) should allocate plain
+// &Packet{} values instead.
+func (s *Sim) NewPacket() *Packet {
+	if s.noPool {
+		return &Packet{}
+	}
+	if n := len(s.pktFree); n > 0 {
+		p := s.pktFree[n-1]
+		s.pktFree[n-1] = nil
+		s.pktFree = s.pktFree[:n-1]
+		*p = Packet{pooled: true}
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// releasePacket returns a pooled packet after its last callback. Plain
+// packets (not from NewPacket) pass through untouched.
+func (s *Sim) releasePacket(p *Packet) {
+	if !p.pooled || s.noPool {
+		return
+	}
+	p.pooled = false // guards against double release
+	s.pktFree = append(s.pktFree, p)
+}

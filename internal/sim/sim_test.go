@@ -88,6 +88,46 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestStopBeforeRunSticks(t *testing.T) {
+	// Regression: Run/RunUntil used to reset the stop flag on entry, so
+	// a Stop issued before the run was silently lost. A pre-run Stop
+	// must make the next run return immediately, then be consumed.
+	s := New()
+	fired := 0
+	s.At(10, func() { fired++ })
+	s.Stop()
+	s.Run()
+	if fired != 0 {
+		t.Fatalf("fired = %d, want 0 (pre-run Stop lost)", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0 (stopped run must not advance the clock)", s.Now())
+	}
+	// The stop is consumed: a second Run proceeds normally.
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("after second Run fired = %d, want 1", fired)
+	}
+}
+
+func TestStopBeforeRunUntilSticks(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(10, func() { fired++ })
+	s.Stop()
+	s.RunUntil(20)
+	if fired != 0 || s.Now() != 0 {
+		t.Fatalf("fired = %d, Now() = %v; want 0, 0", fired, s.Now())
+	}
+	s.RunUntil(20)
+	if fired != 1 || s.Now() != 20 {
+		t.Fatalf("after second RunUntil fired = %d, Now() = %v; want 1, 20", fired, s.Now())
+	}
+}
+
 func TestCancelEvent(t *testing.T) {
 	s := New()
 	fired := false

@@ -89,7 +89,7 @@ type Conn struct {
 	recoverSeq  int
 	sendTimes   map[int]time.Duration // segment → first-send time (Karn)
 	srtt, rttvr float64               // seconds
-	rtoTimer    *eventq.Event
+	rtoTimer    eventq.Handle
 	rtoBackoff  int
 	done        bool
 
@@ -345,10 +345,10 @@ func (c *Conn) armRTO() {
 }
 
 func (c *Conn) disarmRTO() {
-	if c.rtoTimer != nil {
-		c.s.Cancel(c.rtoTimer)
-		c.rtoTimer = nil
-	}
+	// Cancel tolerates stale handles (fired or recycled events), so no
+	// pending check is needed.
+	c.s.Cancel(c.rtoTimer)
+	c.rtoTimer = eventq.Handle{}
 }
 
 // onTimeout handles an RTO: collapse to slow start and go back to the

@@ -1,14 +1,22 @@
 // Command benchbaseline runs the repository's benchmarks once each
 // (-benchtime 1x) and writes the parsed results as a JSON baseline —
-// the starting point of the performance trajectory. Regenerate with:
+// one point on the performance trajectory (BENCH_0.json is the
+// immutable seed-era baseline, BENCH_1.json the living
+// post-optimization one and the default output). Regenerate with:
 //
-//	go run ./scripts/benchbaseline            # writes BENCH_0.json
-//	go run ./scripts/benchbaseline -out f.json
+//	go run ./scripts/benchbaseline            # rewrites BENCH_1.json
 //
-// CI runs the same benchmark smoke (without writing the file) so a
-// benchmark that stops compiling or starts failing is caught on every
-// push; comparing a fresh baseline against the committed one is how a
-// perf regression investigation starts.
+// With -compare, the fresh run is checked against a committed baseline
+// instead of (or in addition to) being written: any benchmark that got
+// an order of magnitude slower fails the run. CI runs the compare on
+// every push, so a perf regression is caught where it lands:
+//
+//	go run ./scripts/benchbaseline -compare BENCH_1.json
+//	go run ./scripts/benchbaseline -compare BENCH_1.json -out fresh.json
+//
+// The threshold is deliberately coarse (10x): single-iteration numbers
+// on shared CI hardware are noisy, but an order of magnitude is a real
+// regression, not noise.
 package main
 
 import (
@@ -23,6 +31,10 @@ import (
 	"strconv"
 	"strings"
 )
+
+// regressionFactor is the ns/op ratio over the baseline that fails a
+// -compare run.
+const regressionFactor = 10.0
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -47,8 +59,14 @@ type Baseline struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_0.json", "output file")
+	out := flag.String("out", "", "output file (default BENCH_1.json, the living baseline; with -compare, omit to skip writing)")
+	compare := flag.String("compare", "", "committed baseline to compare against; exits 1 on order-of-magnitude regressions")
 	flag.Parse()
+	if *out == "" && *compare == "" {
+		// BENCH_0.json is the immutable seed-era trajectory point; the
+		// default regenerates the living baseline, never the history.
+		*out = "BENCH_1.json"
+	}
 
 	args := []string{"test", "-bench", ".", "-benchtime", "1x", "-run", "^$", "./..."}
 	cmd := exec.Command("go", args...)
@@ -71,20 +89,83 @@ func main() {
 			"regressions and keeping benchmarks compiling, not for micro-comparisons",
 		Benchmarks: parse(&buf),
 	}
-	b, err := json.MarshalIndent(base, "", "  ")
+	if *out != "" {
+		b, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchbaseline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchbaseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchbaseline: wrote %d benchmarks to %s\n", len(base.Benchmarks), *out)
+	}
+	if *compare != "" && !compareAgainst(*compare, base.Benchmarks) {
+		os.Exit(1)
+	}
+}
+
+// compareAgainst checks the fresh results against the stored baseline,
+// reporting per-benchmark ratios. Benchmarks present on only one side
+// (added or retired since the baseline) are skipped. Returns false when
+// any shared benchmark regressed by regressionFactor or more.
+func compareAgainst(path string, fresh []Benchmark) bool {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchbaseline: %v\n", err)
-		os.Exit(1)
+		return false
 	}
-	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchbaseline: %v\n", err)
-		os.Exit(1)
+	var stored Baseline
+	if err := json.Unmarshal(raw, &stored); err != nil {
+		fmt.Fprintf(os.Stderr, "benchbaseline: %s: %v\n", path, err)
+		return false
 	}
-	fmt.Printf("benchbaseline: wrote %d benchmarks to %s\n", len(base.Benchmarks), *out)
+	// Stored names were normalized at write time (parse strips the
+	// GOMAXPROCS suffix), so they are compared as-is: trimming again
+	// would mangle legitimate trailing "-<n>" sub-benchmark names.
+	old := make(map[string]Benchmark, len(stored.Benchmarks))
+	for _, b := range stored.Benchmarks {
+		old[b.Package+"."+b.Name] = b
+	}
+	ok, compared := true, 0
+	for _, b := range fresh {
+		ref, found := old[b.Package+"."+b.Name]
+		if !found || ref.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := b.NsPerOp / ref.NsPerOp
+		if ratio >= regressionFactor {
+			ok = false
+			fmt.Fprintf(os.Stderr, "benchbaseline: REGRESSION %s.%s: %.0f ns/op vs baseline %.0f (%.1fx)\n",
+				b.Package, b.Name, b.NsPerOp, ref.NsPerOp, ratio)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchbaseline: no benchmarks in common with %s\n", path)
+		return false
+	}
+	if ok {
+		fmt.Printf("benchbaseline: %d benchmarks within %gx of %s\n", compared, regressionFactor, path)
+	}
+	return ok
+}
+
+// trimProcsSuffix drops the "-<procs>" suffix `go test -bench` appends
+// to benchmark names when GOMAXPROCS > 1, so baselines taken on
+// machines with different core counts compare by the same keys.
+func trimProcsSuffix(name string, procs int) string {
+	if procs > 1 {
+		return strings.TrimSuffix(name, fmt.Sprintf("-%d", procs))
+	}
+	return name
 }
 
 // parse extracts benchmark lines from `go test -bench` output,
 // tracking the current package from the interleaved "pkg:" headers.
+// Names are normalized with the running process's GOMAXPROCS (the test
+// child inherits the same environment).
 func parse(r *bytes.Buffer) []Benchmark {
 	var out []Benchmark
 	pkg := ""
@@ -106,7 +187,11 @@ func parse(r *bytes.Buffer) []Benchmark {
 		if err != nil {
 			continue
 		}
-		b := Benchmark{Package: pkg, Name: f[0], Iterations: iters}
+		b := Benchmark{
+			Package:    pkg,
+			Name:       trimProcsSuffix(f[0], runtime.GOMAXPROCS(0)),
+			Iterations: iters,
+		}
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {

@@ -3,9 +3,11 @@
 // technique on the other. Tools come from the estimator registry; run
 // with -tools for the catalog and each tool's requirements.
 //
-// Receiver:
+// Receiver — a concurrent multi-session measurement server: many
+// senders may probe it at once, each in its own session; -max-sessions
+// bounds them and -stats controls the periodic stats line:
 //
-//	abwprobe -mode recv -listen 0.0.0.0:9876
+//	abwprobe -mode recv -listen 0.0.0.0:9876 -max-sessions 128 -stats 5s
 //
 // Sender (pathload over the live path):
 //
@@ -50,6 +52,8 @@ func main() {
 	var (
 		mode     = flag.String("mode", "", "recv, send, or sim")
 		listen   = flag.String("listen", "0.0.0.0:9876", "receiver control address")
+		maxSess  = flag.Int("max-sessions", 0, "receiver: max concurrent sender sessions (0 = default 64)")
+		statsDur = flag.Duration("stats", 5*time.Second, "receiver: stats line interval on stderr (0 = off)")
 		to       = flag.String("to", "", "receiver address to probe toward")
 		tool     = flag.String("tool", "pathload", "estimation technique (see -tools)")
 		tools    = flag.Bool("tools", false, "list the registered tools and exit")
@@ -100,7 +104,7 @@ func main() {
 	}
 	switch *mode {
 	case "recv":
-		recv(*listen)
+		recv(*listen, *maxSess, *statsDur)
 	case "send":
 		if *to == "" {
 			usageErr("send mode needs -to host:port")
@@ -231,8 +235,10 @@ func simulate(scenarioName, tool string, params abw.Params, jsonOut, progress bo
 	fmt.Printf("  true avail-bw: %.2f Mbps (estimate off by %+.1f%%)\n", sc.TrueAvailBw.MbpsOf(), errPct)
 }
 
-func recv(listen string) {
-	r, err := abw.ListenReceiver(listen)
+// recv runs the multi-session measurement server until interrupted,
+// periodically reporting sessions, streams, packets, and drops.
+func recv(listen string, maxSessions int, statsEvery time.Duration) {
+	r, err := abw.ListenReceiverConfig(listen, abw.ReceiverConfig{MaxSessions: maxSessions})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abwprobe: %v\n", err)
 		os.Exit(exitEstim)
@@ -241,7 +247,21 @@ func recv(listen string) {
 	fmt.Printf("abwprobe: receiving on %s (ctrl+c to stop)\n", r.Addr())
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
-	<-ch
+	if statsEvery <= 0 {
+		<-ch
+		return
+	}
+	tick := time.NewTicker(statsEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Fprintf(os.Stderr, "abwprobe: %v\n", r.Stats())
+		case <-ch:
+			fmt.Fprintf(os.Stderr, "abwprobe: final %v\n", r.Stats())
+			return
+		}
+	}
 }
 
 func send(to, tool string, params abw.Params, jsonOut, progress bool) {

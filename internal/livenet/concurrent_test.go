@@ -1,0 +1,198 @@
+package livenet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// TestConcurrentSendersIsolated is the cross-sender collision
+// regression. Before the session layer, stream IDs were a bare
+// per-Transport counter and the receiver keyed one global map by them:
+// every concurrent sender's first stream was ID 1, senders mixed each
+// other's arrival timestamps, and one sender's done deleted another's
+// in-flight stream (this test fails on that code with decode/result
+// errors). With sessions, K senders × M streams each must all come
+// back fully resolved and bit-exact, with zero cross-session
+// contamination, and closing a sender must free all of its state.
+func TestConcurrentSendersIsolated(t *testing.T) {
+	const K, M = 8, 4
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	trs := make([]*Transport, K)
+	for k := 0; k < K; k++ {
+		tr, err := Dial(r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.DrainWait = 200 * time.Millisecond
+		trs[k] = tr
+	}
+
+	// Every sender uses a distinct packet size and count: a
+	// cross-session stamp would either hit a size mismatch (counted) or
+	// be structurally impossible, and a swapped result would have the
+	// wrong length. Each sender runs M sequential streams; all K run
+	// concurrently.
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	resolved := make([]int, K) // packets stamped per sender (non-lost)
+	for k := 0; k < K; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			count := 8 + 2*k
+			size := unit.Bytes(64 + 16*k)
+			for m := 0; m < M; m++ {
+				rec, err := trs[k].Probe(probe.Periodic(20*unit.Mbps, size, count))
+				if err != nil {
+					errs[k] = fmt.Errorf("sender %d stream %d: %w", k, m, err)
+					return
+				}
+				if !rec.Done() {
+					errs[k] = fmt.Errorf("sender %d stream %d: record not fully resolved", k, m)
+					return
+				}
+				if len(rec.Recv) != count || len(rec.Sent) != count {
+					errs[k] = fmt.Errorf("sender %d stream %d: %d/%d entries, want %d",
+						k, m, len(rec.Recv), len(rec.Sent), count)
+					return
+				}
+				for i, at := range rec.Recv {
+					if at != probe.Lost && at < 0 {
+						errs[k] = fmt.Errorf("sender %d stream %d: negative timestamp at seq %d", k, m, i)
+						return
+					}
+				}
+				resolved[k] += count - rec.LossCount()
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bit-exactness across the whole run: the receiver stamped exactly
+	// the packets the senders got back as received — nothing was
+	// double-stamped into a foreign stream or counted twice — and no
+	// cross-session stamp was even attempted.
+	totalResolved := 0
+	for k := range resolved {
+		totalResolved += resolved[k]
+	}
+	st := r.Stats()
+	if st.Packets != uint64(totalResolved) {
+		t.Errorf("receiver stamped %d packets, senders resolved %d", st.Packets, totalResolved)
+	}
+	if st.SizeMismatches != 0 || st.SourceMismatches != 0 {
+		t.Errorf("cross-session contamination: %d size / %d source mismatches",
+			st.SizeMismatches, st.SourceMismatches)
+	}
+	if st.Sessions != K || st.Streams != uint64(K*M) {
+		t.Errorf("receiver saw %d sessions / %d streams, want %d / %d", st.Sessions, st.Streams, K, K*M)
+	}
+
+	// Closing one sender frees all of its receiver-side state while
+	// the other sessions stay up.
+	trs[0].Close()
+	waitFor(t, "one session reaped", func() bool { return r.Stats().ActiveSessions == K-1 })
+	for k := 1; k < K; k++ {
+		trs[k].Close()
+	}
+	waitFor(t, "all sessions reaped", func() bool {
+		st := r.Stats()
+		return st.ActiveSessions == 0 && st.ActiveStreams == 0
+	})
+}
+
+// TestPoolRunsConcurrently covers the sender-side fan-out: one dial
+// call, one session per transport, every transport usable from its own
+// goroutine.
+func TestPoolRunsConcurrently(t *testing.T) {
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	pool, err := DialPool(r.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	if pool.Size() != 3 {
+		t.Fatalf("pool size = %d, want 3", pool.Size())
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < pool.Size(); i++ {
+		id := pool.Transport(i).SessionID()
+		if seen[id] {
+			t.Fatalf("pooled transports share session %d", id)
+		}
+		seen[id] = true
+	}
+	err = pool.Run(func(i int, tr *Transport) error {
+		rec, err := tr.Probe(probe.Periodic(30*unit.Mbps, 200, 12))
+		if err != nil {
+			return err
+		}
+		if !rec.Done() {
+			return fmt.Errorf("transport %d: unresolved record", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolDialFailureClosesDialed: a pool that cannot fully dial (here
+// because of the receiver's session limit) must close what it opened
+// and surface the refusal.
+func TestPoolDialFailureClosesDialed(t *testing.T) {
+	r, err := ListenReceiverConfig("127.0.0.1:0", Config{MaxSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	if _, err := DialPool(r.Addr(), 3); err == nil {
+		t.Fatal("pool over the session limit dialed successfully")
+	}
+	waitFor(t, "partial pool reaped", func() bool { return r.Stats().ActiveSessions == 0 })
+}
+
+// BenchmarkConcurrentSessions measures K concurrent sessions each
+// sending one paced stream per iteration — the receiver's routing,
+// locking, and reporting under contention.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	pool, err := DialPool(r.Addr(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	spec := probe.Periodic(500*unit.Mbps, 500, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pool.Run(func(_ int, tr *Transport) error {
+			_, err := tr.Probe(spec)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

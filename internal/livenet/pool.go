@@ -1,0 +1,69 @@
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Pool is N independent transports to one receiver, one session each —
+// the sender-side shape for concurrent estimation. Each Transport
+// remains single-stream (core.Transport's contract); the pool's job is
+// dialing, fan-out, and teardown. Running several estimators over one
+// path at once is exactly the paper's intrusiveness pitfall: each
+// probe stream is traffic every other estimator measures.
+type Pool struct {
+	transports []*Transport
+}
+
+// DialPool dials n transports to a receiver's control address. On any
+// dial failure (including the receiver's session limit) the already
+// dialed transports are closed and the cause is returned.
+func DialPool(addr string, n int) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("livenet: pool size %d must be positive", n)
+	}
+	p := &Pool{transports: make([]*Transport, 0, n)}
+	for i := 0; i < n; i++ {
+		tr, err := Dial(addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("livenet: pool dial %d of %d: %w", i+1, n, err)
+		}
+		p.transports = append(p.transports, tr)
+	}
+	return p, nil
+}
+
+// Size returns the number of pooled transports.
+func (p *Pool) Size() int { return len(p.transports) }
+
+// Transport returns the i-th pooled transport.
+func (p *Pool) Transport(i int) *Transport { return p.transports[i] }
+
+// Close closes every pooled transport; the receiver reaps each session.
+func (p *Pool) Close() {
+	for _, tr := range p.transports {
+		tr.Close()
+	}
+}
+
+// Run invokes fn concurrently, one goroutine per transport, and waits
+// for all of them. Each transport is used by exactly one goroutine, so
+// fn may Probe or Estimate freely. Errors are joined, each labeled
+// with its transport index.
+func (p *Pool) Run(fn func(i int, tr *Transport) error) error {
+	errs := make([]error, len(p.transports))
+	var wg sync.WaitGroup
+	for i, tr := range p.transports {
+		wg.Add(1)
+		go func(i int, tr *Transport) {
+			defer wg.Done()
+			if err := fn(i, tr); err != nil {
+				errs[i] = fmt.Errorf("livenet: pool transport %d: %w", i, err)
+			}
+		}(i, tr)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

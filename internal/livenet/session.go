@@ -1,0 +1,192 @@
+package livenet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// session is one sender's receiver-side state: the control connection,
+// the streams it has opened, and the UDP source its probe packets are
+// bound to. Each session has its own lock, so concurrent senders never
+// contend with each other on the probe path — only the session-map
+// lookup is shared, and that is read-locked.
+type session struct {
+	id   uint32
+	r    *Receiver
+	conn net.Conn
+
+	mu      sync.Mutex
+	src     *net.UDPAddr // first-seen probe source; nil until the first valid packet
+	streams map[uint32]*rxStream
+	pending int64 // outstanding declared probe bytes (count×size summed)
+}
+
+// rxStream is the receiver-side state of one probing stream.
+type rxStream struct {
+	size   int // declared per-packet datagram size; arrivals must match
+	recvNs []int64
+	got    int
+}
+
+// serve owns one control connection for its whole life: handshake,
+// request/reply loop, and the deferred cleanup that reaps every stream
+// the session still holds when the connection goes away — whether the
+// sender finished cleanly, errored mid-probe, or just vanished.
+func (r *Receiver) serve(conn net.Conn) {
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	s, err := r.addSession(conn)
+	if err != nil {
+		enc.Encode(ctrlMsg{Type: msgError, Error: err.Error()})
+		return
+	}
+	defer r.dropSession(s)
+	if err := enc.Encode(ctrlMsg{Type: msgSession, Session: s.id}); err != nil {
+		return
+	}
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var m ctrlMsg
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		var reply ctrlMsg
+		switch m.Type {
+		case msgStream:
+			reply = s.openStream(m)
+		case msgDone:
+			reply = s.finishStream(m)
+		default:
+			reply = errReply(m.ID, fmt.Sprintf("unknown control message type %q", m.Type))
+		}
+		if err := enc.Encode(reply); err != nil {
+			return
+		}
+	}
+}
+
+// openStream arms receive state for one stream, enforcing the
+// per-stream and per-session limits. Refusals are "error" replies that
+// leave the session usable.
+func (s *session) openStream(m ctrlMsg) ctrlMsg {
+	cfg := s.r.cfg
+	if m.Count < 1 || m.Count > cfg.MaxCount {
+		return errReply(m.ID, fmt.Sprintf("stream count %d outside [1, %d]", m.Count, cfg.MaxCount))
+	}
+	if m.Size < packetHeader || m.Size > maxPacket {
+		return errReply(m.ID, fmt.Sprintf("packet size %d outside [%d, %d]", m.Size, packetHeader, maxPacket))
+	}
+	vol := int64(m.Count) * int64(m.Size)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.streams) >= cfg.MaxStreams {
+		return errReply(m.ID, fmt.Sprintf("stream limit reached (%d outstanding)", cfg.MaxStreams))
+	}
+	if s.pending+vol > cfg.MaxBytes {
+		return errReply(m.ID, fmt.Sprintf("byte limit: %d outstanding + %d requested > %d", s.pending, vol, cfg.MaxBytes))
+	}
+	if _, dup := s.streams[m.ID]; dup {
+		return errReply(m.ID, fmt.Sprintf("stream id %d already open", m.ID))
+	}
+	st := &rxStream{size: m.Size, recvNs: make([]int64, m.Count)}
+	for i := range st.recvNs {
+		st.recvNs[i] = -1
+	}
+	s.streams[m.ID] = st
+	s.pending += vol
+	s.r.totalStreams.Add(1)
+	return ctrlMsg{Type: msgReady, ID: m.ID}
+}
+
+// finishStream waits (bounded) for stragglers, then reports and
+// releases the stream. An unknown or already-reported stream ID gets a
+// descriptive "error" reply instead of tearing the session down.
+func (s *session) finishStream(m ctrlMsg) ctrlMsg {
+	s.mu.Lock()
+	st := s.streams[m.ID]
+	s.mu.Unlock()
+	if st == nil {
+		return errReply(m.ID, fmt.Sprintf("unknown or expired stream id %d", m.ID))
+	}
+	wait := time.Duration(m.DeadlineMs) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxDrainWait {
+		wait = maxDrainWait
+	}
+	receiverClosed := func() bool {
+		select {
+		case <-s.r.closed:
+			return true
+		default:
+			return false
+		}
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		complete := st.got == len(st.recvNs)
+		s.mu.Unlock()
+		// A closed receiver can never see another straggler (the UDP
+		// socket is gone), so shutdown bounds the wait, not the
+		// sender's declared drain deadline.
+		if complete || receiverClosed() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	s.mu.Lock()
+	delete(s.streams, m.ID)
+	s.pending -= int64(len(st.recvNs)) * int64(st.size)
+	s.mu.Unlock()
+	// Safe to read recvNs lock-free from here: stamping happens only on
+	// streams reachable through the map, under the same lock as the
+	// delete above.
+	return ctrlMsg{Type: msgResult, ID: m.ID, RecvNs: st.recvNs}
+}
+
+// stamp records one probe arrival, enforcing the session's source
+// binding and the stream's declared size; it reports whether the
+// datagram was accepted. The first datagram that passes every check
+// binds the session to its source address; reaching this code at all
+// requires knowing the session's random ID, which travels only over
+// its own TCP control channel, so an off-path spoofer can neither
+// capture the binding before the real sender's first probe nor stamp
+// a bound session's sequence slots from another socket.
+func (s *session) stamp(src *net.UDPAddr, stream uint32, seq, size int, atNs int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.src != nil && (s.src.Port != src.Port || !s.src.IP.Equal(src.IP)) {
+		s.r.srcMismatch.Add(1)
+		return false
+	}
+	st := s.streams[stream]
+	if st == nil {
+		return false
+	}
+	if size != st.size {
+		s.r.sizeMismatch.Add(1)
+		return false
+	}
+	if seq < 0 || seq >= len(st.recvNs) || st.recvNs[seq] != -1 {
+		return false
+	}
+	if s.src == nil {
+		s.src = &net.UDPAddr{IP: append(net.IP(nil), src.IP...), Port: src.Port, Zone: src.Zone}
+	}
+	st.recvNs[seq] = atNs
+	st.got++
+	return true
+}
+
+// streamCount reports the session's outstanding streams (for Stats).
+func (s *session) streamCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
+}

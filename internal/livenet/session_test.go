@@ -1,0 +1,322 @@
+package livenet
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// probePacket hand-crafts a probe datagram of the given total size.
+func probePacket(session, stream uint32, seq uint32, size int) []byte {
+	pkt := make([]byte, size)
+	binary.BigEndian.PutUint32(pkt[0:4], magic)
+	binary.BigEndian.PutUint32(pkt[4:8], session)
+	binary.BigEndian.PutUint32(pkt[8:12], stream)
+	binary.BigEndian.PutUint32(pkt[12:16], seq)
+	return pkt
+}
+
+// openRawStream arms a stream over the transport's control channel
+// without sending any probe traffic.
+func openRawStream(t *testing.T, tr *Transport, id uint32, count, size int) ctrlMsg {
+	t.Helper()
+	if err := tr.enc.Encode(ctrlMsg{Type: msgStream, ID: id, Count: count, Size: size}); err != nil {
+		t.Fatal(err)
+	}
+	var reply ctrlMsg
+	if err := tr.dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func finishRawStream(t *testing.T, tr *Transport, id uint32, deadlineMs int) ctrlMsg {
+	t.Helper()
+	if err := tr.enc.Encode(ctrlMsg{Type: msgDone, ID: id, DeadlineMs: deadlineMs}); err != nil {
+		t.Fatal(err)
+	}
+	var reply ctrlMsg
+	if err := tr.dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func TestHandshakeAssignsDistinctSessions(t *testing.T) {
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	seen := map[uint32]bool{}
+	for i := 0; i < 3; i++ {
+		tr, err := Dial(r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tr.Close)
+		if seen[tr.SessionID()] {
+			t.Fatalf("session id %d assigned twice", tr.SessionID())
+		}
+		seen[tr.SessionID()] = true
+	}
+}
+
+// TestDisconnectReapsStreamState is the stream-leak regression: a
+// sender that opens a stream and then drops its connection (an errored
+// Probe, a crash) must leave no receiver-side state behind. Before the
+// session layer, the rxStream stayed in the receiver map forever.
+func TestDisconnectReapsStreamState(t *testing.T) {
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	tr, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply := openRawStream(t, tr, 1, 100, 200); reply.Type != msgReady {
+		t.Fatalf("stream setup reply = %+v, want ready", reply)
+	}
+	if st := r.Stats(); st.ActiveSessions != 1 || st.ActiveStreams != 1 {
+		t.Fatalf("before disconnect: %+v, want 1 session / 1 stream", st)
+	}
+	tr.Close() // mid-stream disconnect, no done
+	waitFor(t, "session reap", func() bool {
+		st := r.Stats()
+		return st.ActiveSessions == 0 && st.ActiveStreams == 0
+	})
+}
+
+// TestDoneUnknownStream: a done for a stream the receiver does not
+// hold must get a descriptive error reply — not a dropped connection —
+// and the session must remain usable afterwards.
+func TestDoneUnknownStream(t *testing.T) {
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	tr, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	reply := finishRawStream(t, tr, 99, 1)
+	if reply.Type != msgError || !strings.Contains(reply.Error, "99") {
+		t.Fatalf("done on unknown stream replied %+v, want error naming stream 99", reply)
+	}
+	// The connection survived: a normal probe still works.
+	rec, err := tr.Probe(probe.Periodic(50*unit.Mbps, 300, 10))
+	if err != nil {
+		t.Fatalf("probe after unknown-stream error: %v", err)
+	}
+	if !rec.Done() {
+		t.Error("record not resolved after recovered session")
+	}
+}
+
+// TestProbeSurfacesReceiverRefusal: a stream the receiver rejects must
+// turn into a descriptive Transport.Probe error carrying the reason,
+// not a bare decode failure.
+func TestProbeSurfacesReceiverRefusal(t *testing.T) {
+	r, err := ListenReceiverConfig("127.0.0.1:0", Config{MaxCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	tr, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	_, err = tr.Probe(probe.Periodic(50*unit.Mbps, 300, 10))
+	if err == nil || !strings.Contains(err.Error(), "rejected stream") {
+		t.Fatalf("probe over MaxCount returned %v, want receiver rejection", err)
+	}
+	// The refusal left the session usable.
+	if _, err := tr.Probe(probe.Periodic(50*unit.Mbps, 300, 4)); err != nil {
+		t.Fatalf("probe within limits after refusal: %v", err)
+	}
+}
+
+// TestSizeMismatchCountedAsLoss: a truncated (or padded) datagram with
+// a valid header must not be stamped into the stream — it would
+// corrupt every gap-based estimator — and must be counted.
+func TestSizeMismatchCountedAsLoss(t *testing.T) {
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	tr, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	const declared = 64
+	if reply := openRawStream(t, tr, 1, 2, declared); reply.Type != msgReady {
+		t.Fatalf("stream setup reply = %+v", reply)
+	}
+	// Short packet for seq 0: header-only, 16 of the declared 64 bytes.
+	if _, err := tr.udp.Write(probePacket(tr.SessionID(), 1, 0, packetHeader)); err != nil {
+		t.Fatal(err)
+	}
+	// Full-size packet for seq 1.
+	if _, err := tr.udp.Write(probePacket(tr.SessionID(), 1, 1, declared)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "full-size packet stamped", func() bool { return r.Stats().Packets >= 1 })
+	res := finishRawStream(t, tr, 1, 50)
+	if res.Type != msgResult || len(res.RecvNs) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.RecvNs[0] != -1 {
+		t.Errorf("truncated packet was stamped at %d, want lost (-1)", res.RecvNs[0])
+	}
+	if res.RecvNs[1] < 0 {
+		t.Error("full-size packet reported lost")
+	}
+	if st := r.Stats(); st.SizeMismatches != 1 {
+		t.Errorf("SizeMismatches = %d, want 1", st.SizeMismatches)
+	}
+}
+
+// TestSourceBindingRejectsSpoofedSender: once a session's first probe
+// packet binds its UDP source, a second socket writing valid headers
+// must not be able to stamp the victim's sequence slots.
+func TestSourceBindingRejectsSpoofedSender(t *testing.T) {
+	r, err := ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	tr, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	const size = 32
+	if reply := openRawStream(t, tr, 1, 2, size); reply.Type != msgReady {
+		t.Fatalf("stream setup reply = %+v", reply)
+	}
+	spoof, err := net.DialUDP("udp", nil, tr.udp.RemoteAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spoof.Close()
+	// An invalid packet (unknown stream) from the attacker ahead of
+	// the victim's first probe must not capture the source binding:
+	// only a fully valid packet binds.
+	if _, err := spoof.Write(probePacket(tr.SessionID(), 77, 0, size)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bogus-stream packet dropped", func() bool { return r.Stats().Drops >= 1 })
+	// Victim's first valid packet binds the session to its source.
+	if _, err := tr.udp.Write(probePacket(tr.SessionID(), 1, 0, size)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "victim packet stamped", func() bool { return r.Stats().Packets >= 1 })
+	// Attacker again: a bit-identical valid header for seq 1, now
+	// against the bound session.
+	if _, err := spoof.Write(probePacket(tr.SessionID(), 1, 1, size)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "spoofed packet rejected", func() bool { return r.Stats().SourceMismatches >= 1 })
+	res := finishRawStream(t, tr, 1, 10)
+	if res.Type != msgResult || len(res.RecvNs) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.RecvNs[0] < 0 {
+		t.Error("victim's own packet reported lost")
+	}
+	if res.RecvNs[1] != -1 {
+		t.Errorf("spoofed packet resolved the victim's slot at %d", res.RecvNs[1])
+	}
+}
+
+func TestMaxSessionsRefusedWithError(t *testing.T) {
+	r, err := ListenReceiverConfig("127.0.0.1:0", Config{MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	first, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(r.Addr()); err == nil || !strings.Contains(err.Error(), "refused session") {
+		t.Fatalf("second dial returned %v, want session refusal", err)
+	}
+	if st := r.Stats(); st.Refused != 1 {
+		t.Errorf("Refused = %d, want 1", st.Refused)
+	}
+	// Freeing the slot readmits: close the first session and redial.
+	first.Close()
+	waitFor(t, "slot freed", func() bool { return r.Stats().ActiveSessions == 0 })
+	again, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatalf("dial after slot freed: %v", err)
+	}
+	again.Close()
+}
+
+func TestPerSessionStreamAndByteLimits(t *testing.T) {
+	r, err := ListenReceiverConfig("127.0.0.1:0", Config{MaxStreams: 2, MaxBytes: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	tr, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	if reply := openRawStream(t, tr, 1, 10, 100); reply.Type != msgReady {
+		t.Fatalf("stream 1: %+v", reply)
+	}
+	if reply := openRawStream(t, tr, 2, 10, 100); reply.Type != msgReady {
+		t.Fatalf("stream 2: %+v", reply)
+	}
+	if reply := openRawStream(t, tr, 3, 10, 100); reply.Type != msgError || !strings.Contains(reply.Error, "stream limit") {
+		t.Fatalf("third outstanding stream replied %+v, want stream-limit error", reply)
+	}
+	// Reporting one stream frees its slot and its bytes.
+	if res := finishRawStream(t, tr, 1, 0); res.Type != msgResult {
+		t.Fatalf("done stream 1: %+v", res)
+	}
+	if reply := openRawStream(t, tr, 3, 10, 100); reply.Type != msgReady {
+		t.Fatalf("stream 3 after slot freed: %+v", reply)
+	}
+	// Drop to one outstanding stream (1000 bytes) so the next refusal
+	// can only come from the byte limit: 95×100 = 9500 more breaches
+	// MaxBytes without reaching MaxStreams.
+	if res := finishRawStream(t, tr, 2, 0); res.Type != msgResult {
+		t.Fatalf("done stream 2: %+v", res)
+	}
+	if reply := openRawStream(t, tr, 4, 95, 100); reply.Type != msgError || !strings.Contains(reply.Error, "byte limit") {
+		t.Fatalf("over-byte-limit stream replied %+v, want byte-limit error", reply)
+	}
+	// A duplicate stream ID is refused, not silently rearmed.
+	if reply := openRawStream(t, tr, 3, 10, 100); reply.Type != msgError || !strings.Contains(reply.Error, "already open") {
+		t.Fatalf("duplicate stream id replied %+v, want already-open error", reply)
+	}
+}

@@ -1,0 +1,232 @@
+package livenet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/probe"
+)
+
+// Transport is the sending side, implementing core.Transport over UDP.
+// Like every core.Transport it is single-stream and not safe for
+// concurrent use; for concurrent estimation dial one Transport per
+// estimator (Pool does exactly that), and the receiver keeps the
+// sessions apart.
+type Transport struct {
+	ctrl    net.Conn
+	dec     *json.Decoder
+	enc     *json.Encoder
+	udp     *net.UDPConn
+	epoch   time.Time
+	session uint32
+
+	// DrainWait is how long the receiver may wait for stragglers after
+	// the last packet is sent (default 500 ms).
+	DrainWait time.Duration
+
+	nextID uint32
+	buf    []byte
+	// broken latches when the control channel's request/reply
+	// alignment can no longer be trusted (an aborted stream whose
+	// reply never drained); every later Probe fails fast rather than
+	// misreading a stale reply and leaking receiver-side streams.
+	broken bool
+}
+
+// Dial connects to a receiver's control address and completes the
+// session handshake: the receiver assigns the session ID every probe
+// packet will carry. A receiver at its session limit refuses with a
+// descriptive error.
+func Dial(addr string) (*Transport, error) {
+	ctrl, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: control dial: %w", err)
+	}
+	dec := json.NewDecoder(bufio.NewReader(ctrl))
+	ctrl.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var hello ctrlMsg
+	if err := dec.Decode(&hello); err != nil {
+		ctrl.Close()
+		return nil, fmt.Errorf("livenet: session handshake: %w", err)
+	}
+	ctrl.SetReadDeadline(time.Time{})
+	switch hello.Type {
+	case msgSession:
+	case msgError:
+		ctrl.Close()
+		return nil, fmt.Errorf("livenet: receiver refused session: %s", hello.Error)
+	default:
+		ctrl.Close()
+		return nil, fmt.Errorf("livenet: unexpected handshake message %q", hello.Type)
+	}
+	raddr := ctrl.RemoteAddr().(*net.TCPAddr)
+	udp, err := net.DialUDP("udp", nil, &net.UDPAddr{IP: raddr.IP, Port: raddr.Port})
+	if err != nil {
+		ctrl.Close()
+		return nil, fmt.Errorf("livenet: probe dial: %w", err)
+	}
+	return &Transport{
+		ctrl:    ctrl,
+		dec:     dec,
+		enc:     json.NewEncoder(ctrl),
+		udp:     udp,
+		epoch:   time.Now(),
+		session: hello.Session,
+		buf:     make([]byte, maxPacket),
+	}, nil
+}
+
+// SessionID returns the receiver-assigned session identifier.
+func (t *Transport) SessionID() uint32 { return t.session }
+
+// Close releases the sockets; the receiver reaps the session's state.
+func (t *Transport) Close() {
+	t.ctrl.Close()
+	t.udp.Close()
+}
+
+// Now implements core.Transport on the sender's monotonic clock.
+func (t *Transport) Now() time.Duration { return time.Since(t.epoch) }
+
+func (t *Transport) drainWait() time.Duration {
+	if t.DrainWait > 0 {
+		return t.DrainWait
+	}
+	return 500 * time.Millisecond
+}
+
+// Probe implements core.Transport: send one stream, collect the
+// receiver's timestamps. A receiver refusal (limits, unknown stream)
+// surfaces as a descriptive error carrying the receiver's reason.
+func (t *Transport) Probe(spec probe.StreamSpec) (*probe.Record, error) {
+	if t.broken {
+		return nil, fmt.Errorf("livenet: control channel desynchronized by an aborted stream; redial the receiver")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if int(spec.PktSize) < packetHeader {
+		return nil, fmt.Errorf("livenet: packet size %d below header size %d", spec.PktSize, packetHeader)
+	}
+	if int(spec.PktSize) > maxPacket {
+		return nil, fmt.Errorf("livenet: packet size %d above datagram limit %d", spec.PktSize, maxPacket)
+	}
+	deps, err := spec.Departures()
+	if err != nil {
+		return nil, err
+	}
+	t.nextID++
+	id := t.nextID
+	if err := t.enc.Encode(ctrlMsg{Type: msgStream, ID: id, Count: spec.Count, Size: int(spec.PktSize)}); err != nil {
+		return nil, fmt.Errorf("livenet: stream setup: %w", err)
+	}
+	var ready ctrlMsg
+	if err := t.dec.Decode(&ready); err != nil {
+		return nil, fmt.Errorf("livenet: stream setup reply: %w", err)
+	}
+	if ready.Type == msgError {
+		return nil, fmt.Errorf("livenet: receiver rejected stream %d: %s", id, ready.Error)
+	}
+	if ready.Type != msgReady || ready.ID != id {
+		return nil, fmt.Errorf("livenet: unexpected %q reply to stream %d setup", ready.Type, id)
+	}
+	rec := probe.NewRecord(spec)
+	pkt := t.buf[:spec.PktSize]
+	for i := range pkt {
+		pkt[i] = 0
+	}
+	binary.BigEndian.PutUint32(pkt[0:4], magic)
+	binary.BigEndian.PutUint32(pkt[4:8], t.session)
+	binary.BigEndian.PutUint32(pkt[8:12], id)
+
+	// The paced send loop: lock the OS thread and spin for the last
+	// stretch before each departure to defeat sleep quantization.
+	runtime.LockOSThread()
+	start := time.Now().Add(2 * time.Millisecond)
+	for i := 0; i < spec.Count; i++ {
+		target := start.Add(deps[i])
+		pace(target)
+		binary.BigEndian.PutUint32(pkt[12:16], uint32(i))
+		rec.Sent[i] = time.Since(t.epoch)
+		if _, err := t.udp.Write(pkt); err != nil {
+			runtime.UnlockOSThread()
+			t.abortStream(id)
+			return nil, fmt.Errorf("livenet: send %d: %w", i, err)
+		}
+	}
+	runtime.UnlockOSThread()
+
+	if err := t.enc.Encode(ctrlMsg{Type: msgDone, ID: id, DeadlineMs: int(t.drainWait().Milliseconds())}); err != nil {
+		return nil, fmt.Errorf("livenet: done: %w", err)
+	}
+	var res ctrlMsg
+	if err := t.dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("livenet: result reply: %w", err)
+	}
+	if res.Type == msgError {
+		return nil, fmt.Errorf("livenet: receiver error for stream %d: %s", id, res.Error)
+	}
+	if res.Type != msgResult || res.ID != id {
+		return nil, fmt.Errorf("livenet: unexpected %q reply to stream %d done", res.Type, id)
+	}
+	if len(res.RecvNs) != spec.Count {
+		return nil, fmt.Errorf("livenet: result has %d entries, want %d", len(res.RecvNs), spec.Count)
+	}
+	for i, ns := range res.RecvNs {
+		if ns < 0 {
+			rec.Recv[i] = probe.Lost
+		} else {
+			rec.Recv[i] = time.Duration(ns)
+		}
+		rec.MarkResolved()
+	}
+	return rec, nil
+}
+
+// abortStream best-effort releases a stream the receiver is still
+// holding after a failed send — otherwise each such failure would leak
+// one slot of the session's stream/byte limits until disconnect. The
+// zero-deadline done frees the receiver side immediately; the reply
+// (result or error) is drained so the control channel stays in
+// request/reply sync for the next Probe.
+func (t *Transport) abortStream(id uint32) {
+	if t.enc.Encode(ctrlMsg{Type: msgDone, ID: id, DeadlineMs: 0}) != nil {
+		t.broken = true
+		return
+	}
+	t.ctrl.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var discard ctrlMsg
+	if t.dec.Decode(&discard) != nil {
+		// The reply never drained (or the decoder state is poisoned):
+		// the next reply on this channel would answer the wrong
+		// request, so the transport must not be probed again.
+		t.broken = true
+	}
+	t.ctrl.SetReadDeadline(time.Time{})
+}
+
+// pace blocks until the target instant: sleep while far, spin when near.
+func pace(target time.Time) {
+	for {
+		d := time.Until(target)
+		if d <= 0 {
+			return
+		}
+		if d > 200*time.Microsecond {
+			time.Sleep(d - 100*time.Microsecond)
+			continue
+		}
+		// Busy-wait the final stretch.
+		for time.Now().Before(target) {
+		}
+		return
+	}
+}
+
+var _ core.Transport = (*Transport)(nil)

@@ -207,17 +207,15 @@ func (r *Receiver) udpLoop() {
 				continue
 			}
 		}
-		if n < packetHeader || binary.BigEndian.Uint32(buf[0:4]) != magic {
+		h, ok := parseProbeHeader(buf[:n])
+		if !ok {
 			r.drops.Add(1)
 			continue
 		}
-		sid := binary.BigEndian.Uint32(buf[4:8])
-		stream := binary.BigEndian.Uint32(buf[8:12])
-		seq := int(binary.BigEndian.Uint32(buf[12:16]))
 		r.mu.RLock()
-		s := r.sessions[sid]
+		s := r.sessions[h.session]
 		r.mu.RUnlock()
-		if s == nil || !s.stamp(src, stream, seq, n, at) {
+		if s == nil || !s.stamp(src, h.stream, h.seq, n, at) {
 			r.drops.Add(1)
 			continue
 		}

@@ -1,6 +1,9 @@
 package livenet
 
-import "time"
+import (
+	"encoding/binary"
+	"time"
+)
 
 // The wire protocol, v2 (session-scoped stream IDs).
 //
@@ -60,4 +63,27 @@ type ctrlMsg struct {
 
 func errReply(id uint32, msg string) ctrlMsg {
 	return ctrlMsg{Type: msgError, ID: id, Error: msg}
+}
+
+// probeHeader is a decoded probe-datagram header.
+type probeHeader struct {
+	session uint32
+	stream  uint32
+	seq     int
+}
+
+// parseProbeHeader decodes and validates the fixed header of one probe
+// datagram. It is total: any input — truncated, wrong magic, or
+// adversarial — returns ok=false rather than panicking, so a malformed
+// datagram can never take down the receiver loop. The fuzz harness
+// (wire_fuzz_test.go) holds it to that.
+func parseProbeHeader(b []byte) (h probeHeader, ok bool) {
+	if len(b) < packetHeader || binary.BigEndian.Uint32(b[0:4]) != magic {
+		return probeHeader{}, false
+	}
+	return probeHeader{
+		session: binary.BigEndian.Uint32(b[4:8]),
+		stream:  binary.BigEndian.Uint32(b[8:12]),
+		seq:     int(binary.BigEndian.Uint32(b[12:16])),
+	}, true
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"abw/internal/rng"
 	"abw/internal/unit"
 )
 
@@ -197,5 +198,332 @@ func init() {
 				hop(unit.FastEthernet, Source{Kind: ParetoOnOff, Rate: 65 * unit.Mbps}),
 			},
 		},
+	})
+
+	// --- Internet-realistic link models: AQM, random loss, reordering,
+	// time-varying capacity, long heterogeneous paths, and randomized
+	// topologies. Conditions the paper's fluid FIFO model abstracts
+	// away, under which every estimator's assumptions are stressed.
+
+	Register(Descriptor{
+		Name:    "red",
+		Aliases: []string{"aqm-red"},
+		Summary: "canonical path with RED on the tight link: AQM sheds probe bursts before the buffer fills",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				Capacity: 50 * unit.Mbps,
+				Queue:    Queue{Kind: QueueRED},
+				Traffic:  []Source{{Kind: Poisson, Rate: 25 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "red-bursty",
+		Summary: "RED tight link under Pareto ON-OFF bursts: early drops cluster inside the ON periods",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				Capacity: 60 * unit.Mbps,
+				Queue:    Queue{Kind: QueueRED},
+				Traffic:  []Source{{Kind: ParetoOnOff, Rate: 30 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "codel",
+		Aliases: []string{"aqm-codel"},
+		Summary: "canonical path with CoDel on the tight link: sojourn-time head drops bound the standing queue",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				Capacity: 50 * unit.Mbps,
+				Queue:    Queue{Kind: QueueCoDel},
+				Traffic:  []Source{{Kind: Poisson, Rate: 25 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "codel-mice",
+		Summary: "CoDel tight link carrying short TCP transfers: AQM against congestion-responsive cross traffic",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				Capacity: 50 * unit.Mbps,
+				Queue:    Queue{Kind: QueueCoDel},
+				Traffic:  []Source{{Kind: Mice, Rate: 20 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "lossy",
+		Aliases: []string{"bernoulli-loss"},
+		Summary: "1% independent random loss on the tight link: probe gaps that are not congestion signals",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				Capacity: 50 * unit.Mbps,
+				Loss:     Loss{Kind: LossBernoulli, Rate: 0.01},
+				Traffic:  []Source{{Kind: CBR, Rate: 25 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "burstloss",
+		Aliases: []string{"gilbert", "gilbert-elliott"},
+		Summary: "bursty Gilbert–Elliott loss (~4.6% in 10-packet bursts): whole probe trains vanish at once",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				Capacity: 50 * unit.Mbps,
+				Loss:     Loss{Kind: LossGilbertElliott},
+				Traffic:  []Source{{Kind: Poisson, Rate: 25 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "lossy-long",
+		Summary: "six hops each losing 0.3% at random: per-hop loss compounds to ~1.8% end to end",
+		Spec: Spec{
+			Horizon: long,
+			Hops: func() []Hop {
+				hops := make([]Hop, 6)
+				for i := range hops {
+					hops[i] = Hop{
+						Capacity: unit.Rate(60+10*i) * unit.Mbps,
+						Loss:     Loss{Kind: LossBernoulli, Rate: 0.003},
+						Traffic:  []Source{{Kind: Poisson, Rate: unit.Rate(15+5*i) * unit.Mbps}},
+					}
+				}
+				hops[3] = Hop{
+					Capacity: 50 * unit.Mbps,
+					Loss:     Loss{Kind: LossBernoulli, Rate: 0.003},
+					Traffic:  []Source{{Kind: Poisson, Rate: 25 * unit.Mbps}},
+				}
+				return hops
+			}(),
+		},
+	})
+	Register(Descriptor{
+		Name:    "reorder",
+		Aliases: []string{"jitter"},
+		Summary: "1 ms reordering jitter on the tight link: one-way-delay trends blur at the probe timescale",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				Capacity: 50 * unit.Mbps,
+				Reorder:  Reorder{Jitter: time.Millisecond},
+				Traffic:  []Source{{Kind: Poisson, Rate: 25 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "reorder-heavy",
+		Summary: "5 ms jitter on two consecutive hops: heavy packet reordering across the path",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{
+				{
+					Capacity: unit.FastEthernet,
+					Reorder:  Reorder{Jitter: 5 * time.Millisecond},
+					Traffic:  []Source{{Kind: Poisson, Rate: 40 * unit.Mbps}},
+				},
+				{
+					Capacity: 50 * unit.Mbps,
+					Reorder:  Reorder{Jitter: 5 * time.Millisecond},
+					Traffic:  []Source{{Kind: Poisson, Rate: 20 * unit.Mbps}},
+				},
+			},
+		},
+	})
+	Register(Descriptor{
+		Name:    "fading",
+		Aliases: []string{"variable-capacity"},
+		Summary: "tight-link capacity cycles 50/30/40 Mbps every 100 s: avail-bw varies with no change in load",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				CapacitySteps: []RateStep{
+					{At: 0, Rate: 50 * unit.Mbps},
+					{At: 100 * time.Second, Rate: 30 * unit.Mbps},
+					{At: 200 * time.Second, Rate: 40 * unit.Mbps},
+					{At: 300 * time.Second, Rate: 50 * unit.Mbps},
+					{At: 400 * time.Second, Rate: 30 * unit.Mbps},
+					{At: 500 * time.Second, Rate: 40 * unit.Mbps},
+				},
+				Traffic: []Source{{Kind: CBR, Rate: 15 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "ramp",
+		Summary: "capacity staircases 60→24 Mbps across the run: the long-run mean hides a monotone decline",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				CapacitySteps: func() []RateStep {
+					steps := make([]RateStep, 10)
+					for i := range steps {
+						steps[i] = RateStep{
+							At:   time.Duration(i) * time.Minute,
+							Rate: unit.Rate(60-4*i) * unit.Mbps,
+						}
+					}
+					return steps
+				}(),
+				Traffic: []Source{{Kind: Poisson, Rate: 10 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "fading-bursty",
+		Summary: "fading capacity under Pareto ON-OFF load: both C(t) and R(t) move at once",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{{
+				CapacitySteps: []RateStep{
+					{At: 0, Rate: 60 * unit.Mbps},
+					{At: 150 * time.Second, Rate: 36 * unit.Mbps},
+					{At: 300 * time.Second, Rate: 48 * unit.Mbps},
+					{At: 450 * time.Second, Rate: 60 * unit.Mbps},
+				},
+				Traffic: []Source{{Kind: ParetoOnOff, Rate: 18 * unit.Mbps}},
+			}},
+		},
+	})
+	Register(Descriptor{
+		Name:    "longpath",
+		Aliases: []string{"12hop"},
+		Summary: "12 heterogeneous hops with one tight link mid-path: per-hop noise compounds over a long path",
+		Spec: Spec{
+			Horizon: long,
+			Hops: func() []Hop {
+				hops := make([]Hop, 12)
+				for i := range hops {
+					hops[i] = hop(unit.Rate(70+10*(i%4))*unit.Mbps,
+						Source{Kind: Poisson, Rate: unit.Rate(20+5*(i%3)) * unit.Mbps})
+				}
+				hops[6] = hop(50*unit.Mbps, Source{Kind: Poisson, Rate: 28 * unit.Mbps})
+				return hops
+			}(),
+		},
+	})
+	Register(Descriptor{
+		Name:    "verylongpath",
+		Aliases: []string{"20hop"},
+		Summary: "20 hops, all moderately loaded: the regime where per-hop effects dominate end-to-end inference",
+		Spec: Spec{
+			Horizon: long,
+			Hops: func() []Hop {
+				hops := make([]Hop, 20)
+				for i := range hops {
+					hops[i] = hop(unit.Rate(80+5*(i%5))*unit.Mbps,
+						Source{Kind: Poisson, Rate: unit.Rate(25+4*(i%4)) * unit.Mbps})
+				}
+				hops[10] = hop(55*unit.Mbps, Source{Kind: Poisson, Rate: 30 * unit.Mbps})
+				return hops
+			}(),
+		},
+	})
+	Register(Descriptor{
+		Name:    "asymmetric",
+		Aliases: []string{"multi-tight"},
+		Summary: "three bottlenecks of very different capacity (90/30/70 Mbps) with the middle one tight",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{
+				hop(90*unit.Mbps, Source{Kind: ParetoOnOff, Rate: 55 * unit.Mbps}),
+				hop(30*unit.Mbps, Source{Kind: Poisson, Rate: 12 * unit.Mbps}),
+				hop(70*unit.Mbps, Source{Kind: Poisson, Rate: 40 * unit.Mbps}),
+			},
+		},
+	})
+	Register(Descriptor{
+		Name:    "dualtight",
+		Summary: "two hops with exactly equal avail-bw (A = 20 Mbps): no unique tight link exists",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{
+				hop(unit.FastEthernet, Source{Kind: Poisson, Rate: 80 * unit.Mbps}),
+				hop(60*unit.Mbps, Source{Kind: Poisson, Rate: 40 * unit.Mbps}),
+			},
+		},
+	})
+	Register(Descriptor{
+		Name:    "slim",
+		Aliases: []string{"dsl"},
+		Summary: "a 10 Mbps access link at 40% load: low-rate regime where probe packets are coarse",
+		Spec: Spec{
+			Horizon: long,
+			Hops:    []Hop{hop(10*unit.Mbps, Source{Kind: CBR, Rate: 4 * unit.Mbps})},
+		},
+	})
+	Register(Descriptor{
+		Name:    "gigabit",
+		Summary: "a 1 Gbps link at 40% Poisson load: high-rate regime where timestamp resolution bites",
+		Spec: Spec{
+			Horizon: long,
+			Hops:    []Hop{hop(unit.Gbps, Source{Kind: Poisson, Rate: 400 * unit.Mbps})},
+		},
+	})
+	Register(Descriptor{
+		Name:    "internet",
+		Aliases: []string{"kitchen-sink"},
+		Summary: "8-hop path mixing RED, CoDel, bursty loss, jitter and fading: everything at once",
+		Spec: Spec{
+			Horizon: long,
+			Hops: []Hop{
+				hop(unit.FastEthernet, Source{Kind: Poisson, Rate: 35 * unit.Mbps}),
+				{
+					Capacity: 80 * unit.Mbps,
+					Queue:    Queue{Kind: QueueRED},
+					Traffic:  []Source{{Kind: ParetoOnOff, Rate: 30 * unit.Mbps}},
+				},
+				{
+					Capacity: 70 * unit.Mbps,
+					Reorder:  Reorder{Jitter: 500 * time.Microsecond},
+					Traffic:  []Source{{Kind: Poisson, Rate: 25 * unit.Mbps}},
+				},
+				{
+					CapacitySteps: []RateStep{
+						{At: 0, Rate: 60 * unit.Mbps},
+						{At: 200 * time.Second, Rate: 45 * unit.Mbps},
+						{At: 400 * time.Second, Rate: 60 * unit.Mbps},
+					},
+					Traffic: []Source{{Kind: Poisson, Rate: 20 * unit.Mbps}},
+				},
+				{
+					Capacity: 50 * unit.Mbps,
+					Queue:    Queue{Kind: QueueCoDel},
+					Traffic:  []Source{{Kind: Poisson, Rate: 24 * unit.Mbps}},
+				},
+				{
+					Capacity: 60 * unit.Mbps,
+					Loss:     Loss{Kind: LossBernoulli, Rate: 0.005},
+					Traffic:  []Source{{Kind: Poisson, Rate: 20 * unit.Mbps}},
+				},
+				{
+					Capacity: 90 * unit.Mbps,
+					Loss:     Loss{Kind: LossGilbertElliott},
+					Traffic:  []Source{{Kind: ParetoArrivals, Rate: 30 * unit.Mbps}},
+				},
+				hop(unit.FastEthernet, Source{Kind: Poisson, Rate: 30 * unit.Mbps}),
+			},
+		},
+	})
+	Register(Descriptor{
+		Name:    "random-a",
+		Summary: "randomized Internet-like topology drawn from RandomSpec at seed 1001",
+		Spec:    RandomSpec(rng.New(1001)),
+	})
+	Register(Descriptor{
+		Name:    "random-b",
+		Summary: "randomized Internet-like topology drawn from RandomSpec at seed 1002",
+		Spec:    RandomSpec(rng.New(1002)),
+	})
+	Register(Descriptor{
+		Name:    "random-c",
+		Summary: "randomized Internet-like topology drawn from RandomSpec at seed 1003",
+		Spec:    RandomSpec(rng.New(1003)),
 	})
 }

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"time"
+
+	"abw/internal/rng"
+	"abw/internal/unit"
+)
+
+// RandomSpec draws a random Internet-like scenario from r: a 1–16 hop
+// path with heterogeneous capacities, per-hop packet-model cross
+// traffic at 15–80% utilization, and a random sprinkling of the link
+// models (buffer bounds, RED/CoDel, Bernoulli/Gilbert–Elliott loss,
+// reordering jitter, fading capacity). The construction keeps every
+// hop's long-run load strictly below its (minimum) capacity, so the
+// analytic TrueAvailBw is always positive.
+//
+// The spec depends only on the variates drawn from r: equal generator
+// states produce identical specs, which is what lets the catalog pin
+// "random-*" entries and lets property tests sweep seeds. The returned
+// spec's Seed is unset (compile-time choice), and the horizon is 2
+// minutes — long enough for every tool, cheap under the lazy sources.
+func RandomSpec(r *rng.Rand) Spec {
+	hops := 1 + r.Intn(16)
+	spec := Spec{
+		Horizon: 2 * time.Minute,
+		Hops:    make([]Hop, hops),
+	}
+	for h := range spec.Hops {
+		hop := &spec.Hops[h]
+		capacity := unit.Rate(r.Uniform(20, 200)) * unit.Mbps
+		minCap := capacity
+
+		// Fading: a few capacity levels around the base, the lowest of
+		// which bounds the admissible load.
+		if r.Float64() < 0.2 {
+			steps := FadingSteps(r, capacity, 2+r.Intn(3), 10*time.Second, spec.Horizon)
+			hop.CapacitySteps = steps
+			for _, st := range steps {
+				if st.Rate < minCap {
+					minCap = st.Rate
+				}
+			}
+		} else {
+			hop.Capacity = capacity
+		}
+
+		// Cross traffic: one or two packet-model sources sharing a
+		// 15–80% utilization of the hop's minimum capacity.
+		util := r.Uniform(0.15, 0.8)
+		load := unit.Rate(util * float64(minCap))
+		kinds := []Kind{CBR, Poisson, ParetoOnOff, ParetoArrivals}
+		sources := 1 + r.Intn(2)
+		for j := 0; j < sources; j++ {
+			share := load / unit.Rate(sources)
+			hop.Traffic = append(hop.Traffic, Source{
+				Kind: kinds[r.Intn(len(kinds))],
+				Rate: share,
+			})
+		}
+
+		if r.Float64() < 0.4 {
+			hop.Buffer = unit.Bytes(30000 + r.Intn(220000))
+		}
+		switch {
+		case r.Float64() < 0.15:
+			hop.Queue = Queue{Kind: QueueRED}
+		case r.Float64() < 0.15:
+			hop.Queue = Queue{Kind: QueueCoDel}
+		}
+		switch {
+		case r.Float64() < 0.1:
+			hop.Loss = Loss{Kind: LossBernoulli, Rate: r.Uniform(0.001, 0.02)}
+		case r.Float64() < 0.1:
+			hop.Loss = Loss{Kind: LossGilbertElliott}
+		}
+		if r.Float64() < 0.2 {
+			hop.Reorder = Reorder{Jitter: time.Duration(r.Uniform(0.1, 2)) * time.Millisecond}
+		}
+		if r.Float64() < 0.5 {
+			hop.PropDelay = time.Duration(r.Uniform(0.2, 10)) * time.Millisecond
+		}
+	}
+	return spec
+}
+
+// FadingSteps draws a piecewise-constant capacity profile around base:
+// levels distinct rates in [base/2, base], dwelling an exponential time
+// with the given mean at each before switching, covering [0, horizon).
+// The first step is at 0 as the capacity-schedule contract requires.
+func FadingSteps(r *rng.Rand, base unit.Rate, levels int, meanDwell, horizon time.Duration) []RateStep {
+	if levels < 2 {
+		levels = 2
+	}
+	rates := make([]unit.Rate, levels)
+	for i := range rates {
+		rates[i] = unit.Rate(r.Uniform(0.5, 1) * float64(base))
+	}
+	var steps []RateStep
+	at := time.Duration(0)
+	cur := r.Intn(levels)
+	for at < horizon {
+		steps = append(steps, RateStep{At: at, Rate: rates[cur]})
+		at += time.Duration(r.Exp(meanDwell.Seconds()) * float64(time.Second))
+		if at <= steps[len(steps)-1].At {
+			at = steps[len(steps)-1].At + time.Millisecond
+		}
+		// Switch to a different level so consecutive steps always
+		// change the rate.
+		next := r.Intn(levels - 1)
+		if next >= cur {
+			next++
+		}
+		cur = next
+	}
+	return steps
+}

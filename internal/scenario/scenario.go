@@ -147,6 +147,21 @@ type Hop struct {
 	PropDelay time.Duration
 	// Traffic is the set of sources entering at this hop.
 	Traffic []Source
+
+	// Queue selects the hop's queue discipline (default FIFO tail-drop).
+	Queue Queue
+	// Loss adds a random transmission-loss process at the link input
+	// (default none).
+	Loss Loss
+	// Reorder adds bounded random reordering via propagation jitter
+	// (default in-order).
+	Reorder Reorder
+	// CapacitySteps, if set, makes the hop's capacity a piecewise-
+	// constant process (wireless fading, rate adaptation). The first
+	// step must be at 0; leave Capacity zero — the long-run effective
+	// capacity used for ground truth is the profile's time-weighted
+	// mean over the horizon.
+	CapacitySteps []RateStep
 }
 
 // Spec is a declarative scenario: a heterogeneous path plus the
@@ -263,23 +278,38 @@ func Compile(spec Spec) (*Compiled, error) {
 	s := sim.New()
 	links := make([]*sim.Link, len(resolved.Hops))
 	recs := make([]*sim.Recorder, len(resolved.Hops))
+	lossMeans := make([]float64, len(resolved.Hops))
 	needReverse := resolved.WithReverse
 	for h, hop := range resolved.Hops {
-		if hop.Capacity <= 0 {
+		capacity := hop.Capacity
+		if len(hop.CapacitySteps) > 0 {
+			if hop.Capacity != 0 {
+				return nil, fmt.Errorf("scenario: hop %d sets both Capacity and CapacitySteps; leave Capacity zero (the effective capacity is derived from the profile)", h)
+			}
+			if err := sim.ValidateCapacitySteps(capacitySteps(hop.CapacitySteps)); err != nil {
+				return nil, fmt.Errorf("scenario: hop %d: %w", h, err)
+			}
+			capacity = hop.CapacitySteps[0].Rate
+		} else if hop.Capacity <= 0 {
 			return nil, fmt.Errorf("scenario: hop %d capacity %v must be positive", h, hop.Capacity)
 		}
 		prop := hop.PropDelay
 		if prop == 0 {
 			prop = time.Millisecond
 		}
-		links[h] = s.NewLink(fmt.Sprintf("hop%d", h), hop.Capacity, prop)
+		links[h] = s.NewLink(fmt.Sprintf("hop%d", h), capacity, prop)
 		links[h].BufferBytes = hop.Buffer
 		if resolved.RecorderEpoch > 0 {
-			recs[h] = sim.NewAggregateRecorder(hop.Capacity, resolved.RecorderEpoch)
+			recs[h] = sim.NewAggregateRecorder(capacity, resolved.RecorderEpoch)
 		} else {
-			recs[h] = sim.NewRecorder(hop.Capacity)
+			recs[h] = sim.NewRecorder(capacity)
 		}
 		links[h].Attach(recs[h])
+		lm, err := applyLinkModels(links[h], recs[h], h, hop, seed)
+		if err != nil {
+			return nil, err
+		}
+		lossMeans[h] = lm
 		for _, src := range hop.Traffic {
 			if src.Kind == Mice || src.Kind == BufferLimitedTCP {
 				needReverse = true
@@ -316,8 +346,13 @@ func Compile(spec Spec) (*Compiled, error) {
 	// Analytic long-run ground truth: per-hop mean traffic rate from
 	// the spec, tight link = argmin avail, narrow link = argmin
 	// capacity (first wins on ties, matching sim.Path.NarrowLink).
+	// Under a capacity profile the hop's capacity is the profile's
+	// long-run mean; under a loss model the hop's carried load is the
+	// offered load thinned by the stationary loss probability (lost
+	// packets never consume transmission time).
 	tight, narrow := 0, 0
 	var tightA unit.Rate
+	effCaps := make([]unit.Rate, len(resolved.Hops))
 	for h, hop := range resolved.Hops {
 		var load unit.Rate
 		for _, src := range hop.Traffic {
@@ -327,20 +362,22 @@ func Compile(spec Spec) (*Compiled, error) {
 			}
 			load += r
 		}
-		avail := hop.Capacity - load
+		effCaps[h] = hop.effectiveCapacity(resolved.Horizon)
+		carried := unit.Rate(float64(load) * (1 - lossMeans[h]))
+		avail := effCaps[h] - carried
 		if avail < 0 {
 			avail = 0
 		}
 		if h == 0 || avail < tightA {
 			tight, tightA = h, avail
 		}
-		if hop.Capacity < resolved.Hops[narrow].Capacity {
+		if effCaps[h] < effCaps[narrow] {
 			narrow = h
 		}
 	}
 	cpl.TightLink, cpl.NarrowLink = tight, narrow
 	cpl.TrueAvailBw = tightA
-	cpl.Capacity = resolved.Hops[tight].Capacity
+	cpl.Capacity = effCaps[tight]
 	return cpl, nil
 }
 

@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
+	"abw/internal/rng"
 	"abw/internal/unit"
 )
 
@@ -165,24 +167,56 @@ func TestStepProfile(t *testing.T) {
 // kind, a heterogeneous multi-hop path, and a time-varying profile.
 func TestCatalog(t *testing.T) {
 	cat := Catalog()
-	if len(cat) < 8 {
-		t.Fatalf("catalog has %d scenarios, want >= 8", len(cat))
+	if len(cat) < 25 {
+		t.Fatalf("catalog has %d scenarios, want >= 25", len(cat))
 	}
 	for _, want := range []string{
 		"canonical", "bursty", "lrd", "mice",
 		"narrowtight", "multibottleneck", "step", "postnarrow",
+		"red", "codel", "lossy", "burstloss", "reorder",
+		"fading", "longpath", "verylongpath", "internet",
+		"random-a", "random-b", "random-c",
 	} {
 		if _, ok := Lookup(want); !ok {
 			t.Errorf("catalog is missing %q", want)
 		}
 	}
+
+	// Global name/alias uniqueness: every lookup key resolves to
+	// exactly one descriptor.
+	seen := map[string]string{}
+	for _, d := range cat {
+		for _, name := range append([]string{d.Name}, d.Aliases...) {
+			if prev, dup := seen[name]; dup {
+				t.Errorf("name %q registered by both %q and %q", name, prev, d.Name)
+			}
+			seen[name] = d.Name
+		}
+	}
+
 	kinds := map[Kind]bool{}
-	multiHop, stepped := false, false
+	multiHop, stepped, deepPath := false, false, false
+	aqm, lossy, reordered, fading := false, false, false, false
 	for _, d := range cat {
 		if len(d.Spec.Hops) > 1 {
 			multiHop = true
 		}
+		if len(d.Spec.Hops) >= 10 {
+			deepPath = true
+		}
 		for _, hop := range d.Spec.Hops {
+			if hop.Queue.Kind != QueueFIFO {
+				aqm = true
+			}
+			if hop.Loss.Kind != LossNone {
+				lossy = true
+			}
+			if hop.Reorder.Jitter > 0 {
+				reordered = true
+			}
+			if len(hop.CapacitySteps) > 0 {
+				fading = true
+			}
 			for _, src := range hop.Traffic {
 				kinds[src.Kind] = true
 				if len(src.Steps) > 0 {
@@ -193,13 +227,21 @@ func TestCatalog(t *testing.T) {
 		if d.Summary == "" {
 			t.Errorf("%s: empty summary", d.Name)
 		}
-		cpl, err := d.Compile()
-		if err != nil {
-			t.Errorf("%s: %v", d.Name, err)
-			continue
-		}
-		if cpl.TrueAvailBw <= 0 {
-			t.Errorf("%s: non-positive ground truth %v", d.Name, cpl.TrueAvailBw)
+		// Every entry compiles at two seeds, with a physical ground
+		// truth: 0 < TrueAvailBw <= tight-link capacity.
+		for _, seed := range []uint64{1, 2} {
+			cpl, err := d.CompileSeeded(seed)
+			if err != nil {
+				t.Errorf("%s seed %d: %v", d.Name, seed, err)
+				continue
+			}
+			if cpl.TrueAvailBw <= 0 {
+				t.Errorf("%s seed %d: non-positive ground truth %v", d.Name, seed, cpl.TrueAvailBw)
+			}
+			if cpl.TrueAvailBw > cpl.Capacity {
+				t.Errorf("%s seed %d: ground truth %v exceeds tight capacity %v",
+					d.Name, seed, cpl.TrueAvailBw, cpl.Capacity)
+			}
 		}
 	}
 	for _, k := range []Kind{CBR, Poisson, ParetoOnOff, LRD, Mice} {
@@ -207,11 +249,50 @@ func TestCatalog(t *testing.T) {
 			t.Errorf("no catalog scenario uses %v traffic", k)
 		}
 	}
-	if !multiHop {
-		t.Error("no heterogeneous multi-hop scenario in the catalog")
+	for name, got := range map[string]bool{
+		"heterogeneous multi-hop": multiHop,
+		"time-varying load":       stepped,
+		"10+ hop path":            deepPath,
+		"AQM":                     aqm,
+		"random loss":             lossy,
+		"reordering":              reordered,
+		"variable capacity":       fading,
+	} {
+		if !got {
+			t.Errorf("no %s scenario in the catalog", name)
+		}
 	}
-	if !stepped {
-		t.Error("no time-varying scenario in the catalog")
+}
+
+// TestRandomSpecDeterminism pins the RandomSpec contract: equal
+// generator states yield bit-identical specs, and every drawn spec
+// compiles with positive ground truth.
+func TestRandomSpecDeterminism(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a := RandomSpec(rng.New(seed))
+		b := RandomSpec(rng.New(seed))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: RandomSpec is not deterministic", seed)
+		}
+		if n := len(a.Hops); n < 1 || n > 16 {
+			t.Fatalf("seed %d: %d hops outside [1, 16]", seed, n)
+		}
+		cpl, err := Compile(a)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cpl.TrueAvailBw <= 0 || cpl.TrueAvailBw > cpl.Capacity {
+			t.Fatalf("seed %d: ground truth %v outside (0, %v]", seed, cpl.TrueAvailBw, cpl.Capacity)
+		}
+	}
+	// Different states should explore the feature space.
+	differ := false
+	base := RandomSpec(rng.New(1))
+	for seed := uint64(2); seed <= 5 && !differ; seed++ {
+		differ = !reflect.DeepEqual(base, RandomSpec(rng.New(seed)))
+	}
+	if !differ {
+		t.Error("RandomSpec returned identical specs for different seeds")
 	}
 }
 

@@ -4,18 +4,37 @@ import (
 	"fmt"
 	"time"
 
+	"abw/internal/rng"
 	"abw/internal/unit"
 )
 
 // Link is a store-and-forward output link: packets queue in FIFO order,
 // are transmitted one at a time at Capacity, and reach the next hop after
 // PropDelay. A Link belongs to exactly one Sim.
+//
+// Beyond the plain FIFO tail-drop fixed-capacity model, a link can be
+// given Internet-realistic behavior, each piece independently optional
+// and off by default:
+//
+//   - a queue Discipline (SetDiscipline): RED early drops, CoDel head
+//     drops — service order stays FIFO;
+//   - a LossModel (SetLoss): random transmission loss at the input,
+//     before queueing, counted separately from queue drops;
+//   - propagation jitter (SetJitter): bounded random extra propagation
+//     delay per packet, so packets can overtake in flight — bounded
+//     reordering;
+//   - a capacity schedule (SetCapacitySchedule): piecewise-constant
+//     time-varying capacity (fading).
+//
+// With none of these installed the hot path is exactly the pre-existing
+// zero-allocation FIFO fast path.
 type Link struct {
 	sim *Sim
 
 	// Name identifies the link in diagnostics ("hop2", "tight", ...).
 	Name string
-	// Capacity is the transmission rate C_i.
+	// Capacity is the transmission rate C_i. Under a capacity schedule
+	// it holds the current rate and changes as the simulation runs.
 	Capacity unit.Rate
 	// PropDelay is the fixed propagation latency to the next hop.
 	PropDelay time.Duration
@@ -28,16 +47,27 @@ type Link struct {
 	head        int
 	queuedBytes unit.Bytes
 	busy        bool
+	idleSince   time.Duration // when busy last went false (0 = since creation)
 
 	// txPkt/txStart describe the packet in service, read back by txDone
 	// so the transmission-complete event needs no per-packet closure.
 	txPkt   *Packet
 	txStart time.Duration
 
+	// Pluggable behavior; all nil/zero by default.
+	disc       Discipline
+	loss       LossModel
+	jitterMax  time.Duration
+	jitterRand *rng.Rand
+	capSteps   []CapacityStep
+
 	// Statistics.
-	forwarded   int64
-	dropped     int64
-	bytesServed unit.Bytes
+	forwarded    int64
+	dropped      int64
+	droppedBytes unit.Bytes
+	lost         int64
+	lostBytes    unit.Bytes
+	bytesServed  unit.Bytes
 
 	rec *Recorder
 }
@@ -60,11 +90,54 @@ func (l *Link) Attach(r *Recorder) { l.rec = r }
 // Recorder returns the attached ground-truth recorder (nil if none).
 func (l *Link) Recorder() *Recorder { return l.rec }
 
+// SetDiscipline installs a queue discipline (RED, CoDel, explicit
+// FIFO); nil restores the branch-free FIFO tail-drop fast path.
+func (l *Link) SetDiscipline(d Discipline) { l.disc = d }
+
+// Discipline returns the installed queue discipline (nil = FIFO).
+func (l *Link) Discipline() Discipline { return l.disc }
+
+// SetLoss installs a random loss process at the link input; nil
+// removes it.
+func (l *Link) SetLoss(m LossModel) { l.loss = m }
+
+// Loss returns the installed loss model (nil if none).
+func (l *Link) Loss() LossModel { return l.loss }
+
+// SetJitter adds independent uniform extra propagation delay in
+// [0, max) to every forwarded packet, drawn from r — the bounded
+// reordering model: a packet can overtake at most the packets within
+// max of it. Pass max 0 to disable. It panics on a negative max or,
+// for a positive max, a nil random source.
+func (l *Link) SetJitter(max time.Duration, r *rng.Rand) {
+	if max < 0 {
+		panic(fmt.Sprintf("sim: negative jitter bound %v", max))
+	}
+	if max > 0 && r == nil {
+		panic("sim: jitter needs a random source")
+	}
+	l.jitterMax, l.jitterRand = max, r
+}
+
+// Jitter returns the jitter bound (0 = in-order delivery).
+func (l *Link) Jitter() time.Duration { return l.jitterMax }
+
 // Forwarded returns the number of packets fully transmitted by the link.
 func (l *Link) Forwarded() int64 { return l.forwarded }
 
-// Dropped returns the number of packets dropped at the queue tail.
+// Dropped returns the number of packets dropped by the queue: buffer
+// tail drops plus discipline (AQM) drops. Random-loss kills are
+// counted by Lost instead.
 func (l *Link) Dropped() int64 { return l.dropped }
+
+// DroppedBytes returns the bytes dropped by the queue.
+func (l *Link) DroppedBytes() unit.Bytes { return l.droppedBytes }
+
+// Lost returns the number of packets killed by the link's loss model.
+func (l *Link) Lost() int64 { return l.lost }
+
+// LostBytes returns the bytes killed by the link's loss model.
+func (l *Link) LostBytes() unit.Bytes { return l.lostBytes }
 
 // BytesServed returns the total bytes transmitted.
 func (l *Link) BytesServed() unit.Bytes { return l.bytesServed }
@@ -82,8 +155,9 @@ func (l *Link) deliver(p *Packet) {
 	if l.rec != nil {
 		l.rec.arrival(now, p)
 	}
-	if l.BufferBytes > 0 && l.queuedBytes+p.Size > l.BufferBytes && l.busy {
-		l.dropped++
+	if l.loss != nil && l.loss.Lose(p) {
+		l.lost++
+		l.lostBytes += p.Size
 		if l.rec != nil {
 			l.rec.drop(now, p)
 		}
@@ -93,6 +167,15 @@ func (l *Link) deliver(p *Packet) {
 		l.sim.releasePacket(p)
 		return
 	}
+	if l.disc != nil && !l.disc.Admit(l, p) {
+		l.drop(p, now)
+		return
+	}
+	if l.BufferBytes > 0 && l.queuedBytes+p.Size > l.BufferBytes && l.busy {
+		l.drop(p, now)
+		return
+	}
+	p.enqAt = now
 	l.push(p)
 	l.queuedBytes += p.Size
 	if !l.busy {
@@ -100,17 +183,43 @@ func (l *Link) deliver(p *Packet) {
 	}
 }
 
-// startTx begins transmitting the head-of-line packet. The completion
-// event carries only the link: txDone reads the in-service packet back
-// from the link, so steady-state forwarding schedules no closures.
+// drop disposes of a queue-dropped packet (tail drop or AQM drop).
+func (l *Link) drop(p *Packet, now time.Duration) {
+	l.dropped++
+	l.droppedBytes += p.Size
+	if l.rec != nil {
+		l.rec.drop(now, p)
+	}
+	if p.OnDrop != nil {
+		p.OnDrop(p, l, now)
+	}
+	l.sim.releasePacket(p)
+}
+
+// startTx begins transmitting the next queued packet that survives the
+// discipline's dequeue check (head drops pull the following packet).
+// The completion event carries only the link: txDone reads the
+// in-service packet back from the link, so steady-state forwarding
+// schedules no closures.
 func (l *Link) startTx() {
-	p := l.pop()
-	l.queuedBytes -= p.Size
-	l.busy = true
-	l.txPkt = p
-	l.txStart = l.sim.now
-	l.sim.callbacks()
-	l.sim.atArg(l.txStart+unit.TxTime(p.Size, l.Capacity), l.sim.txDoneFn, l)
+	for l.QueueLen() > 0 {
+		p := l.pop()
+		l.queuedBytes -= p.Size
+		if l.disc != nil && !l.disc.Dequeue(l, p) {
+			l.drop(p, l.sim.now)
+			continue
+		}
+		l.busy = true
+		l.txPkt = p
+		l.txStart = l.sim.now
+		l.sim.callbacks()
+		l.sim.atArg(l.txStart+unit.TxTime(p.Size, l.Capacity), l.sim.txDoneFn, l)
+		return
+	}
+	if l.busy {
+		l.busy = false
+		l.idleSince = l.sim.now
+	}
 }
 
 // txDone completes the in-service packet's transmission at the current
@@ -123,20 +232,21 @@ func (l *Link) txDone() {
 	if l.rec != nil {
 		l.rec.busyInterval(start, txEnd)
 	}
-	// Hand off to the next hop after propagation. Propagation is
-	// pipelined: the link can transmit the next packet while this
-	// one is in flight.
-	if l.PropDelay == 0 {
+	// Hand off to the next hop after propagation (plus per-packet
+	// jitter when reordering is enabled). Propagation is pipelined:
+	// the link can transmit the next packet while this one is in
+	// flight — which is exactly what lets a jittered packet overtake.
+	prop := l.PropDelay
+	if l.jitterMax > 0 {
+		prop += time.Duration(l.jitterRand.Float64() * float64(l.jitterMax))
+	}
+	if prop == 0 {
 		p.hop++
 		l.sim.forward(p)
 	} else {
-		l.sim.atArg(txEnd+l.PropDelay, l.sim.advanceFn, p)
+		l.sim.atArg(txEnd+prop, l.sim.advanceFn, p)
 	}
-	if l.QueueLen() > 0 {
-		l.startTx()
-	} else {
-		l.busy = false
-	}
+	l.startTx()
 }
 
 // push/pop implement an amortized O(1) FIFO over a slice, compacting when

@@ -69,6 +69,10 @@ type Packet struct {
 	// Meta carries protocol-private state (e.g. TCP segment headers).
 	Meta any
 
+	// enqAt is stamped by each link when the packet joins its queue;
+	// CoDel reads it at dequeue time as the packet's sojourn time.
+	enqAt time.Duration
+
 	// pooled marks packets obtained from Sim.NewPacket: they return to
 	// the simulation's free list after their final OnArrive/OnDrop.
 	pooled bool

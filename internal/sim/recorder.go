@@ -30,6 +30,10 @@ const kindCount = int(kindSentinel)
 type epochBin struct {
 	busy  time.Duration
 	bytes [kindCount]unit.Bytes
+	// busyCap is ∫C(s)ds in bits over the bin's busy time — only
+	// maintained under a capacity schedule, where busy time alone no
+	// longer determines how much capacity the busy periods consumed.
+	busyCap float64
 }
 
 // Recorder captures the ground truth needed to compute the paper's
@@ -59,6 +63,13 @@ type Recorder struct {
 	cum   []time.Duration
 	drops int64
 
+	// capSteps, when set, is the link's piecewise-constant capacity
+	// profile: AvailBw switches from C·(1−u) to the exact time-varying
+	// form, backed by cumCap — the prefix sums of ∫C(s)ds in bits over
+	// the busy intervals (full mode) or epochBin.busyCap (aggregate).
+	capSteps []CapacityStep
+	cumCap   []float64
+
 	// epoch > 0 selects aggregate mode.
 	epoch time.Duration
 	bins  []epochBin
@@ -80,6 +91,35 @@ func NewAggregateRecorder(capacity unit.Rate, epoch time.Duration) *Recorder {
 	}
 	return &Recorder{Capacity: capacity, epoch: epoch}
 }
+
+// SetCapacitySchedule tells the recorder the link's capacity is the
+// given piecewise-constant profile rather than the fixed Capacity.
+// AvailBw then evaluates the time-varying form of the paper's Equation
+// (2) exactly:
+//
+//	A(t, t+τ) = (1/τ)·(∫C(s)ds − ∫_busy C(s)ds) over [t, t+τ)
+//
+// which reduces to C·(1−u) when C is constant. Install it before the
+// run, with the same steps handed to Link.SetCapacitySchedule; it
+// panics on an invalid schedule (ValidateCapacitySteps) or after
+// recording has started. Capacity is reset to the profile's first rate
+// (callers wanting the long-run mean can use MeanCapacity).
+func (r *Recorder) SetCapacitySchedule(steps []CapacityStep) {
+	if err := ValidateCapacitySteps(steps); err != nil {
+		panic(err)
+	}
+	if len(r.busy) > 0 || len(r.bins) > 0 || len(r.arrivals) > 0 {
+		panic("sim: capacity schedule installed after recording started")
+	}
+	own := make([]CapacityStep, len(steps))
+	copy(own, steps)
+	r.capSteps = own
+	r.Capacity = own[0].Rate
+}
+
+// CapacitySchedule returns the installed capacity profile (nil for a
+// fixed-capacity recorder). Shared slice; treat as read-only.
+func (r *Recorder) CapacitySchedule() []CapacityStep { return r.capSteps }
 
 // Aggregated reports whether the recorder runs in bounded aggregate
 // mode.
@@ -121,6 +161,9 @@ func (r *Recorder) busyInterval(start, end time.Duration) {
 				edge = end
 			}
 			b.busy += edge - start
+			if r.capSteps != nil {
+				b.busyCap += capIntegralBits(r.capSteps, start, edge)
+			}
 			start = edge
 		}
 		return
@@ -130,6 +173,9 @@ func (r *Recorder) busyInterval(start, end time.Duration) {
 	if n := len(r.busy); n > 0 && r.busy[n-1].End == start {
 		r.busy[n-1].End = end
 		r.cum[n-1] += end - start
+		if r.capSteps != nil {
+			r.cumCap[n-1] += capIntegralBits(r.capSteps, start, end)
+		}
 		return
 	}
 	var base time.Duration
@@ -138,6 +184,13 @@ func (r *Recorder) busyInterval(start, end time.Duration) {
 	}
 	r.busy = append(r.busy, Interval{Start: start, End: end})
 	r.cum = append(r.cum, base+(end-start))
+	if r.capSteps != nil {
+		var capBase float64
+		if n := len(r.cumCap); n > 0 {
+			capBase = r.cumCap[n-1]
+		}
+		r.cumCap = append(r.cumCap, capBase+capIntegralBits(r.capSteps, start, end))
+	}
 }
 
 // Arrivals returns the recorded arrivals (shared slice; treat as
@@ -160,6 +213,7 @@ func (r *Recorder) Reset() {
 	r.arrivals = nil
 	r.busy = nil
 	r.cum = nil
+	r.cumCap = nil
 	r.bins = nil
 	r.drops = 0
 }
@@ -247,8 +301,52 @@ func (r *Recorder) Utilization(from time.Duration, window time.Duration) float64
 }
 
 // AvailBw returns A(from, from+window) = C·(1−u) per paper Equation (2).
+// Under a capacity schedule (SetCapacitySchedule) it evaluates the exact
+// time-varying generalization instead: the capacity integral over the
+// window minus the capacity integral over the window's busy time, per
+// unit time.
 func (r *Recorder) AvailBw(from, window time.Duration) unit.Rate {
-	return r.Capacity * unit.Rate(1-r.Utilization(from, window))
+	if r.capSteps == nil {
+		return r.Capacity * unit.Rate(1-r.Utilization(from, window))
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: avail-bw window %v must be positive", window))
+	}
+	free := capIntegralBits(r.capSteps, from, from+window) - r.busyCapBits(from, from+window)
+	if free < 0 {
+		// Guard against float round-off at saturated windows.
+		free = 0
+	}
+	return unit.Rate(free / window.Seconds())
+}
+
+// busyCapBits returns ∫C(s)ds in bits over the busy time within
+// [from, to) — only meaningful under a capacity schedule.
+func (r *Recorder) busyCapBits(from, to time.Duration) float64 {
+	if r.epoch > 0 {
+		var total float64
+		r.forEachBin(from, to, func(b *epochBin, frac float64) {
+			total += b.busyCap * frac
+		})
+		return total
+	}
+	n := len(r.busy)
+	i0 := sort.Search(n, func(i int) bool { return r.busy[i].End > from })
+	i1 := sort.Search(n, func(i int) bool { return r.busy[i].Start >= to })
+	if i0 >= i1 {
+		return 0
+	}
+	total := r.cumCap[i1-1]
+	if i0 > 0 {
+		total -= r.cumCap[i0-1]
+	}
+	if s := r.busy[i0].Start; s < from {
+		total -= capIntegralBits(r.capSteps, s, from)
+	}
+	if e := r.busy[i1-1].End; e > to {
+		total -= capIntegralBits(r.capSteps, to, e)
+	}
+	return total
 }
 
 // AvailBwSeries samples the avail-bw process A_τ(t) on consecutive

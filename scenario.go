@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"abw/internal/rng"
 	"abw/internal/scenario"
 )
 
@@ -29,6 +30,30 @@ type (
 	// ScenarioInfo describes one cataloged scenario: name, aliases,
 	// summary, and the spec behind it.
 	ScenarioInfo = scenario.Descriptor
+	// Queue selects a hop's queue discipline (FIFO tail-drop, RED,
+	// CoDel) and carries its tuning knobs.
+	Queue = scenario.Queue
+	// QueueKind names a queue discipline for Queue.Kind.
+	QueueKind = scenario.QueueKind
+	// Loss selects a hop's stochastic loss model (Bernoulli or
+	// Gilbert–Elliott bursty loss) applied on arrival.
+	Loss = scenario.Loss
+	// LossKind names a loss model for Loss.Kind.
+	LossKind = scenario.LossKind
+	// Reorder bounds a hop's random extra propagation jitter, which
+	// reorders packets that were queued back-to-back.
+	Reorder = scenario.Reorder
+)
+
+// Queue disciplines and loss models for Hop.Queue / Hop.Loss.
+const (
+	QueueFIFO  = scenario.QueueFIFO
+	QueueRED   = scenario.QueueRED
+	QueueCoDel = scenario.QueueCoDel
+
+	LossNone           = scenario.LossNone
+	LossBernoulli      = scenario.LossBernoulli
+	LossGilbertElliott = scenario.LossGilbertElliott
 )
 
 // Cross-traffic models.
@@ -48,6 +73,12 @@ func Seed(v uint64) *uint64 { return scenario.Seed(v) }
 
 // Scenarios returns the cataloged scenarios in their canonical order.
 func Scenarios() []ScenarioInfo { return scenario.Catalog() }
+
+// RandomScenarioSpec draws a structurally random but fully
+// deterministic path — topology, cross traffic, queueing, loss,
+// reordering, and capacity variation are all functions of seed alone —
+// for property tests and stress sweeps over scenario space.
+func RandomScenarioSpec(seed uint64) ScenarioSpec { return scenario.RandomSpec(rng.New(seed)) }
 
 // LookupScenario finds a cataloged scenario by name or alias.
 func LookupScenario(name string) (ScenarioInfo, bool) { return scenario.Lookup(name) }

@@ -12,6 +12,7 @@
 // every push, so a perf regression is caught where it lands:
 //
 //	go run ./scripts/benchbaseline -compare BENCH_1.json
+//	go run ./scripts/benchbaseline -compare BENCH_1.json,BENCH_2.json
 //	go run ./scripts/benchbaseline -compare BENCH_1.json -out fresh.json
 //
 // The threshold is deliberately coarse (10x): single-iteration numbers
@@ -60,7 +61,7 @@ type Baseline struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default BENCH_1.json, the living baseline; with -compare, omit to skip writing)")
-	compare := flag.String("compare", "", "committed baseline to compare against; exits 1 on order-of-magnitude regressions")
+	compare := flag.String("compare", "", "comma-separated committed baseline(s) to compare against; exits 1 on order-of-magnitude regressions")
 	flag.Parse()
 	if *out == "" && *compare == "" {
 		// BENCH_0.json is the immutable seed-era trajectory point; the
@@ -101,8 +102,16 @@ func main() {
 		}
 		fmt.Printf("benchbaseline: wrote %d benchmarks to %s\n", len(base.Benchmarks), *out)
 	}
-	if *compare != "" && !compareAgainst(*compare, base.Benchmarks) {
-		os.Exit(1)
+	if *compare != "" {
+		ok := true
+		for _, path := range strings.Split(*compare, ",") {
+			if path = strings.TrimSpace(path); path != "" && !compareAgainst(path, base.Benchmarks) {
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
 	}
 }
 

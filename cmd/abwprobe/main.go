@@ -5,9 +5,12 @@
 //
 // Receiver — a concurrent multi-session measurement server: many
 // senders may probe it at once, each in its own session; -max-sessions
-// bounds them and -stats controls the periodic stats line:
+// bounds them and -stats controls the periodic stats line. -stats-json
+// switches those lines to one-line JSON on stdout — the same wire shape
+// abwmonitor serves in /api/status, so the two feed the same tooling:
 //
 //	abwprobe -mode recv -listen 0.0.0.0:9876 -max-sessions 128 -stats 5s
+//	abwprobe -mode recv -listen 0.0.0.0:9876 -stats 5s -stats-json | jq .active_sessions
 //
 // Sender (pathload over the live path):
 //
@@ -50,28 +53,29 @@ const (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "", "recv, send, or sim")
-		listen   = flag.String("listen", "0.0.0.0:9876", "receiver control address")
-		maxSess  = flag.Int("max-sessions", 0, "receiver: max concurrent sender sessions (0 = default 64)")
-		statsDur = flag.Duration("stats", 5*time.Second, "receiver: stats line interval on stderr (0 = off)")
-		to       = flag.String("to", "", "receiver address to probe toward")
-		tool     = flag.String("tool", "pathload", "estimation technique (see -tools)")
-		tools    = flag.Bool("tools", false, "list the registered tools and exit")
-		scens    = flag.Bool("scenarios", false, "list the cataloged simulated scenarios and exit")
-		scenName = flag.String("scenario", "canonical", "cataloged scenario for -mode sim (see -scenarios)")
-		minMbps  = flag.Float64("min", 1, "minimum probing rate (Mbps)")
-		maxMbps  = flag.Float64("max", 500, "maximum probing rate (Mbps)")
-		capMbps  = flag.Float64("capacity", 0, "tight-link capacity (Mbps), for direct-probing tools")
-		pktSize  = flag.Int("pktsize", 0, "probe packet size in bytes (0 = tool default)")
-		length   = flag.Int("len", 0, "packets per probing stream (0 = tool default)")
-		repeat   = flag.Int("repeat", 0, "streams per rate / trains / chirps / pairs (0 = tool default)")
-		rounds   = flag.Int("rounds", 0, "max probing-rate search rounds (0 = tool default)")
-		budgetS  = flag.Int("max-streams", 0, "probing budget: max streams (0 = unlimited)")
-		budgetP  = flag.Int("max-packets", 0, "probing budget: max packets (0 = unlimited)")
-		budgetD  = flag.Duration("max-duration", 0, "probing budget: max estimation time (0 = unlimited)")
-		jsonOut  = flag.Bool("json", false, "print the report as JSON on stdout")
-		progress = flag.Bool("progress", false, "print per-stream progress to stderr")
-		seed     = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+		mode      = flag.String("mode", "", "recv, send, or sim")
+		listen    = flag.String("listen", "0.0.0.0:9876", "receiver control address")
+		maxSess   = flag.Int("max-sessions", 0, "receiver: max concurrent sender sessions (0 = default 64)")
+		statsDur  = flag.Duration("stats", 5*time.Second, "receiver: stats line interval on stderr (0 = off)")
+		statsJSON = flag.Bool("stats-json", false, "receiver: emit stats lines as JSON on stdout (abwmonitor's wire shape)")
+		to        = flag.String("to", "", "receiver address to probe toward")
+		tool      = flag.String("tool", "pathload", "estimation technique (see -tools)")
+		tools     = flag.Bool("tools", false, "list the registered tools and exit")
+		scens     = flag.Bool("scenarios", false, "list the cataloged simulated scenarios and exit")
+		scenName  = flag.String("scenario", "canonical", "cataloged scenario for -mode sim (see -scenarios)")
+		minMbps   = flag.Float64("min", 1, "minimum probing rate (Mbps)")
+		maxMbps   = flag.Float64("max", 500, "maximum probing rate (Mbps)")
+		capMbps   = flag.Float64("capacity", 0, "tight-link capacity (Mbps), for direct-probing tools")
+		pktSize   = flag.Int("pktsize", 0, "probe packet size in bytes (0 = tool default)")
+		length    = flag.Int("len", 0, "packets per probing stream (0 = tool default)")
+		repeat    = flag.Int("repeat", 0, "streams per rate / trains / chirps / pairs (0 = tool default)")
+		rounds    = flag.Int("rounds", 0, "max probing-rate search rounds (0 = tool default)")
+		budgetS   = flag.Int("max-streams", 0, "probing budget: max streams (0 = unlimited)")
+		budgetP   = flag.Int("max-packets", 0, "probing budget: max packets (0 = unlimited)")
+		budgetD   = flag.Duration("max-duration", 0, "probing budget: max estimation time (0 = unlimited)")
+		jsonOut   = flag.Bool("json", false, "print the report as JSON on stdout")
+		progress  = flag.Bool("progress", false, "print per-stream progress to stderr")
+		seed      = flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
 	)
 	flag.Parse()
 	if *tools {
@@ -104,7 +108,7 @@ func main() {
 	}
 	switch *mode {
 	case "recv":
-		recv(*listen, *maxSess, *statsDur)
+		recv(*listen, *maxSess, *statsDur, *statsJSON)
 	case "send":
 		if *to == "" {
 			usageErr("send mode needs -to host:port")
@@ -236,19 +240,31 @@ func simulate(scenarioName, tool string, params abw.Params, jsonOut, progress bo
 }
 
 // recv runs the multi-session measurement server until interrupted,
-// periodically reporting sessions, streams, packets, and drops.
-func recv(listen string, maxSessions int, statsEvery time.Duration) {
+// periodically reporting sessions, streams, packets, and drops — as
+// text on stderr, or with jsonStats as one-line JSON on stdout in the
+// monitor's wire shape (abw.EncodeReceiverStats).
+func recv(listen string, maxSessions int, statsEvery time.Duration, jsonStats bool) {
 	r, err := abw.ListenReceiverConfig(listen, abw.ReceiverConfig{MaxSessions: maxSessions})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abwprobe: %v\n", err)
 		os.Exit(exitEstim)
 	}
 	defer r.Close()
-	fmt.Printf("abwprobe: receiving on %s (ctrl+c to stop)\n", r.Addr())
+	fmt.Fprintf(os.Stderr, "abwprobe: receiving on %s (ctrl+c to stop)\n", r.Addr())
+	report := func() {
+		if jsonStats {
+			if err := abw.EncodeReceiverStats(os.Stdout, r.Stats()); err != nil {
+				fmt.Fprintf(os.Stderr, "abwprobe: encoding stats: %v\n", err)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "abwprobe: %v\n", r.Stats())
+	}
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	if statsEvery <= 0 {
 		<-ch
+		report()
 		return
 	}
 	tick := time.NewTicker(statsEvery)
@@ -256,9 +272,9 @@ func recv(listen string, maxSessions int, statsEvery time.Duration) {
 	for {
 		select {
 		case <-tick.C:
-			fmt.Fprintf(os.Stderr, "abwprobe: %v\n", r.Stats())
+			report()
 		case <-ch:
-			fmt.Fprintf(os.Stderr, "abwprobe: final %v\n", r.Stats())
+			report()
 			return
 		}
 	}

@@ -1,19 +1,39 @@
 package livenet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 )
 
-// Pool is N independent transports to one receiver, one session each —
-// the sender-side shape for concurrent estimation. Each Transport
-// remains single-stream (core.Transport's contract); the pool's job is
-// dialing, fan-out, and teardown. Running several estimators over one
-// path at once is exactly the paper's intrusiveness pitfall: each
-// probe stream is traffic every other estimator measures.
+// ErrPoolClosed is returned by Get on a closed pool.
+var ErrPoolClosed = errors.New("livenet: pool closed")
+
+// Pool is N session slots to one receiver — the sender-side shape for
+// concurrent estimation. Each slot holds one Transport (single-stream,
+// per core.Transport's contract); the pool's job is dialing, leasing,
+// fan-out, and teardown. Running several estimators over one path at
+// once is exactly the paper's intrusiveness pitfall: each probe stream
+// is traffic every other estimator measures.
+//
+// Two usage modes, not to be mixed on one pool:
+//
+//   - Fan-out: Run / RunContext drive every transport at once, one
+//     goroutine each (the compare-experiment shape).
+//   - Leasing: Get hands out one transport per concurrent caller and
+//     Put returns it, with unhealthy transports discarded and their
+//     slot redialed on the next Get (the long-running monitor shape).
 type Pool struct {
-	transports []*Transport
+	addr string
+
+	mu    sync.Mutex
+	slots []*Transport       // current transport per slot; nil = vacant
+	idx   map[*Transport]int // leased-or-pooled transport -> slot
+
+	free      chan int // slot indices available to Get
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // DialPool dials n transports to a receiver's control address. On any
@@ -23,39 +43,160 @@ func DialPool(addr string, n int) (*Pool, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("livenet: pool size %d must be positive", n)
 	}
-	p := &Pool{transports: make([]*Transport, 0, n)}
+	p := &Pool{
+		addr:   addr,
+		slots:  make([]*Transport, n),
+		idx:    make(map[*Transport]int, n),
+		free:   make(chan int, n),
+		closed: make(chan struct{}),
+	}
 	for i := 0; i < n; i++ {
 		tr, err := Dial(addr)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("livenet: pool dial %d of %d: %w", i+1, n, err)
 		}
-		p.transports = append(p.transports, tr)
+		p.slots[i] = tr
+		p.idx[tr] = i
+		p.free <- i
 	}
 	return p, nil
 }
 
-// Size returns the number of pooled transports.
-func (p *Pool) Size() int { return len(p.transports) }
+// Size returns the number of pooled slots.
+func (p *Pool) Size() int { return len(p.slots) }
 
-// Transport returns the i-th pooled transport.
-func (p *Pool) Transport(i int) *Transport { return p.transports[i] }
+// Transport returns the i-th slot's transport — nil if the slot is
+// vacant after an unhealthy Put and not yet redialed. Fan-out callers
+// that never lease always see the dialed transport.
+func (p *Pool) Transport(i int) *Transport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.slots[i]
+}
 
-// Close closes every pooled transport; the receiver reaps each session.
-func (p *Pool) Close() {
-	for _, tr := range p.transports {
-		tr.Close()
+// Get leases a transport, blocking until a slot is free, the context
+// is done, or the pool closes. A vacant slot (its previous transport
+// was discarded as unhealthy) is redialed here, so one broken session
+// costs one redial, not a rebuilt pool. The caller must return the
+// transport with Put.
+func (p *Pool) Get(ctx context.Context) (*Transport, error) {
+	for {
+		var i int
+		select {
+		case i = <-p.free:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-p.closed:
+			return nil, ErrPoolClosed
+		}
+		// The select chooses randomly among ready cases, so a free slot
+		// can win the race against a concurrent Close; closed wins here.
+		select {
+		case <-p.closed:
+			return nil, ErrPoolClosed
+		default:
+		}
+		p.mu.Lock()
+		tr := p.slots[i]
+		p.mu.Unlock()
+		if tr != nil {
+			return tr, nil
+		}
+		tr, err := Dial(p.addr) // outside the lock: dials are slow
+		if err != nil {
+			p.free <- i // the slot stays vacant for the next Get to retry
+			return nil, fmt.Errorf("livenet: pool redial slot %d: %w", i, err)
+		}
+		p.mu.Lock()
+		select {
+		case <-p.closed:
+			p.mu.Unlock()
+			tr.Close()
+			return nil, ErrPoolClosed
+		default:
+		}
+		p.slots[i] = tr
+		p.idx[tr] = i
+		p.mu.Unlock()
+		return tr, nil
 	}
 }
 
-// Run invokes fn concurrently, one goroutine per transport, and waits
-// for all of them. Each transport is used by exactly one goroutine, so
-// fn may Probe or Estimate freely. Errors are joined, each labeled
-// with its transport index.
+// Put returns a leased transport. healthy=false discards it — closing
+// the sockets so the receiver reaps the session — and leaves the slot
+// vacant for Get to redial. Putting a transport the pool does not own
+// is a no-op.
+func (p *Pool) Put(tr *Transport, healthy bool) {
+	if tr == nil {
+		return
+	}
+	p.mu.Lock()
+	i, ok := p.idx[tr]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	// A transport whose control channel desynchronized mid-run can never
+	// probe again; treat it as unhealthy whatever the caller thinks.
+	if tr.broken {
+		healthy = false
+	}
+	if !healthy {
+		delete(p.idx, tr)
+		p.slots[i] = nil
+	}
+	p.mu.Unlock()
+	if !healthy {
+		tr.Close()
+	}
+	p.free <- i
+}
+
+// Close closes every transport — leased ones included, which is what
+// unblocks a caller stuck inside a socket read — and fails all future
+// Gets. It is idempotent and safe to call concurrently.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		p.mu.Lock()
+		trs := make([]*Transport, 0, len(p.slots))
+		for _, tr := range p.slots {
+			if tr != nil {
+				trs = append(trs, tr)
+			}
+		}
+		p.mu.Unlock()
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+}
+
+// Run invokes fn concurrently, one goroutine per slot, and waits for
+// all of them. Each transport is used by exactly one goroutine, so fn
+// may Probe or Estimate freely. Errors are joined, each labeled with
+// its transport index.
 func (p *Pool) Run(fn func(i int, tr *Transport) error) error {
-	errs := make([]error, len(p.transports))
+	return p.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run under a context: when ctx is canceled the pool is
+// closed, which unblocks every fn stuck inside a socket read (a probe
+// waiting on a receiver that died mid-fan-out would otherwise hang its
+// goroutine forever). RunContext always waits for every goroutine to
+// return — no leaks on any path — and a canceled run leaves the pool
+// closed, so it is spent: dial a fresh pool to probe again.
+func (p *Pool) RunContext(ctx context.Context, fn func(i int, tr *Transport) error) error {
+	stop := context.AfterFunc(ctx, p.Close)
+	defer stop()
+	errs := make([]error, len(p.slots)+1)
 	var wg sync.WaitGroup
-	for i, tr := range p.transports {
+	for i := range p.slots {
+		tr := p.Transport(i)
+		if tr == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, tr *Transport) {
 			defer wg.Done()
@@ -65,5 +206,6 @@ func (p *Pool) Run(fn func(i int, tr *Transport) error) error {
 		}(i, tr)
 	}
 	wg.Wait()
+	errs[len(p.slots)] = ctx.Err()
 	return errors.Join(errs...)
 }

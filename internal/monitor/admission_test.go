@@ -1,0 +1,166 @@
+package monitor
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/unit"
+)
+
+// TestLedgerConcurrentAdmitNeverOverAdmits is the acceptance test for
+// the shared-budget guarantee, run under -race: G goroutines hammer one
+// ledger with admissions and commits, and at no point — sampled
+// concurrently, and checked exactly at the end — does the charged
+// volume exceed any fleet cap. Every turn-away satisfies
+// errors.Is(err, core.ErrBudget).
+func TestLedgerConcurrentAdmitNeverOverAdmits(t *testing.T) {
+	const (
+		G        = 16
+		perG     = 200
+		maxBytes = 1_000_000
+	)
+	cost := Cost{Streams: 2, Packets: 10, Bytes: 1000}
+	led := NewLedger(core.Budget{MaxBytes: maxBytes, MaxStreams: 2 * maxBytes / 1000, MaxPackets: 10 * maxBytes / 1000}, 0, 0, nil)
+
+	var admitted, turnedAway, badErr atomic.Uint64
+	stopSampling := make(chan struct{})
+	var samplerWg sync.WaitGroup
+	samplerWg.Add(1)
+	go func() {
+		defer samplerWg.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			if st := led.Stats(); st.Bytes > maxBytes {
+				t.Errorf("mid-flight over-admission: %d bytes charged > cap %d", st.Bytes, maxBytes)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id, err := led.Admit("tenant", cost)
+				if err != nil {
+					if !errors.Is(err, core.ErrBudget) {
+						badErr.Add(1)
+					}
+					turnedAway.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				if i%3 == 0 {
+					// A third of the runs report lower actuals, refunding
+					// the difference — the refund must never let the total
+					// overshoot either.
+					led.Commit(id, Cost{Streams: 1, Packets: 5, Bytes: 500})
+				} else {
+					led.Commit(id, cost)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopSampling)
+	samplerWg.Wait()
+
+	if badErr.Load() != 0 {
+		t.Errorf("%d turn-aways did not satisfy errors.Is(err, core.ErrBudget)", badErr.Load())
+	}
+	st := led.Stats()
+	if st.Bytes > maxBytes {
+		t.Errorf("final charge %d bytes > cap %d", st.Bytes, maxBytes)
+	}
+	if st.Admitted != admitted.Load() || st.Refused != turnedAway.Load() {
+		t.Errorf("ledger counted %d admitted / %d refused; callers saw %d / %d",
+			st.Admitted, st.Refused, admitted.Load(), turnedAway.Load())
+	}
+	if admitted.Load() == 0 || turnedAway.Load() == 0 {
+		t.Fatalf("test exercised nothing: %d admitted, %d turned away (want both nonzero)",
+			admitted.Load(), turnedAway.Load())
+	}
+}
+
+// TestLedgerRateDeferral: the sliding-window rate cap defers (with a
+// usable retry hint) rather than refuses, and the hint is honest — the
+// same cost is admissible once the clock passes it.
+func TestLedgerRateDeferral(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	led := NewLedger(core.Budget{}, unit.Rate(8_000_000), time.Second, clk) // 1 MB/s window
+	if _, err := led.Admit("a", Cost{Bytes: 800_000}); err != nil {
+		t.Fatalf("first 800 KB refused: %v", err)
+	}
+	_, err := led.Admit("a", Cost{Bytes: 400_000})
+	var ref *Refusal
+	if !errors.As(err, &ref) || ref.RetryAfter <= 0 {
+		t.Fatalf("expected a deferral with a retry hint, got %v", err)
+	}
+	if !errors.Is(err, core.ErrBudget) {
+		t.Error("deferral does not unwrap to core.ErrBudget")
+	}
+	if ref.RetryAfter > time.Second {
+		t.Errorf("RetryAfter %v exceeds the window", ref.RetryAfter)
+	}
+	clk.Advance(ref.RetryAfter)
+	if _, err := led.Admit("a", Cost{Bytes: 400_000}); err != nil {
+		t.Fatalf("retry hint was dishonest: still inadmissible after %v: %v", ref.RetryAfter, err)
+	}
+	st := led.Stats()
+	if st.Deferred != 1 || st.Admitted != 2 {
+		t.Errorf("Deferred/Admitted = %d/%d, want 1/2", st.Deferred, st.Admitted)
+	}
+}
+
+// TestLedgerOversizedCostRefusedOutright: a cost no window could ever
+// hold must be a final refusal, not an infinite deferral loop.
+func TestLedgerOversizedCostRefusedOutright(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	led := NewLedger(core.Budget{}, unit.Rate(8_000_000), time.Second, clk)
+	_, err := led.Admit("a", Cost{Bytes: 2_000_000})
+	var ref *Refusal
+	if !errors.As(err, &ref) {
+		t.Fatalf("expected a refusal, got %v", err)
+	}
+	if ref.RetryAfter != 0 {
+		t.Errorf("oversized cost got a retry hint %v; waiting cannot help", ref.RetryAfter)
+	}
+}
+
+// TestLedgerCommitSettlesActuals: commit refunds the over-estimate on
+// lifetime totals (freeing headroom for later runs) while the rate
+// window keeps the full reservation.
+func TestLedgerCommitSettlesActuals(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	led := NewLedger(core.Budget{MaxBytes: 1000}, unit.Rate(8_000_000), time.Second, clk)
+	id, err := led.Admit("a", Cost{Streams: 4, Packets: 40, Bytes: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	led.Commit(id, Cost{Streams: 1, Packets: 2, Bytes: 100})
+	st := led.Stats()
+	if st.Bytes != 100 || st.Streams != 1 || st.Packets != 2 {
+		t.Errorf("lifetime totals after refund = %d bytes / %d streams / %d packets, want 100/1/2",
+			st.Bytes, st.Streams, st.Packets)
+	}
+	if st.WindowBytes != 900 {
+		t.Errorf("window kept %d bytes, want the full 900 reservation", st.WindowBytes)
+	}
+	if _, err := led.Admit("a", Cost{Bytes: 900}); err != nil {
+		t.Errorf("refund did not free lifetime headroom: %v", err)
+	}
+	led.Commit(9999, Cost{Bytes: 1}) // unknown reservation: a no-op, not a corruption
+	if got := led.Stats().Bytes; got != 1000 {
+		t.Errorf("unknown-ID commit changed the books: %d bytes, want 1000", got)
+	}
+}

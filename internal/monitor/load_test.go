@@ -1,0 +1,99 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/tools/registry"
+	"abw/internal/unit"
+)
+
+// TestMonitorLoadThousandSessions is the scale acceptance: 1000
+// concurrently scheduled sim sessions sustain two full measurement
+// cycles under a fake clock, with the fleet ledger's caps holding and
+// shutdown leaving nothing in flight. Hermetic — no sockets, no real
+// sleeping — so it runs in CI at full size.
+func TestMonitorLoadThousandSessions(t *testing.T) {
+	const n = 1000
+	scenarios := []string{"canonical", "bursty", "poisson", "mice"}
+	targets := make([]Target, n)
+	for i := range targets {
+		targets[i] = Target{
+			Name:     fmt.Sprintf("edge-%04d", i),
+			Tenant:   fmt.Sprintf("tenant-%d", i%7),
+			Tool:     "spruce",
+			Scenario: scenarios[i%len(scenarios)],
+			Params:   registry.Params{Repeat: 1},
+			EstBytes: 8_000,
+		}
+	}
+	const maxBytes = unit.Bytes(100_000_000)
+	clk := NewFakeClock(time.Unix(1_700_000_000, 0).UTC())
+	m, err := New(Config{
+		Targets:       targets,
+		Interval:      10 * time.Second,
+		Seed:          11,
+		MaxConcurrent: 64,
+		History:       8,
+		Budget:        core.Budget{MaxBytes: maxBytes},
+		Clock:         clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	if st := m.Stats(); st.Scheduled != n {
+		t.Fatalf("Scheduled = %d after Start, want %d", st.Scheduled, n)
+	}
+	for i := 0; i < 2; i++ {
+		drain(t, m, clk, 11*time.Second, uint64(n*(i+1)))
+	}
+	st := m.Stats()
+	if st.RunsOK != 2*n {
+		t.Errorf("RunsOK = %d, want %d (every scheduled run succeeding)", st.RunsOK, 2*n)
+	}
+	led := m.Ledger().Stats()
+	if led.Bytes > maxBytes {
+		t.Errorf("fleet charge %d exceeds cap %d", led.Bytes, maxBytes)
+	}
+	if len(led.Tenants) != 7 {
+		t.Errorf("ledger tracked %d tenants, want 7", len(led.Tenants))
+	}
+	if got := len(m.Store().All()); got != n {
+		t.Errorf("store holds %d series, want %d", got, n)
+	}
+
+	m.Close()
+	if st := m.Stats(); st.Active != 0 {
+		t.Errorf("%d runs still in flight after Close", st.Active)
+	}
+	// Closing again must stay a no-op at scale too.
+	m.Close()
+}
+
+// BenchmarkMonitorIngest measures the store's append path — the
+// per-run cost of recording a point into a full ring with concurrent
+// rollup-free appends across many series, i.e. the monitor's steady
+// state write load.
+func BenchmarkMonitorIngest(b *testing.B) {
+	st := NewStore(512)
+	const series = 64
+	keys := make([]string, series)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("edge-%03d", i)
+	}
+	at := time.Unix(1_700_000_000, 0)
+	p := Point{At: at, Point: 40 * unit.Mbps, Low: 35 * unit.Mbps, High: 45 * unit.Mbps,
+		Streams: 2, Packets: 4, ProbeBytes: 6000, Elapsed: 12 * time.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			st.Append(keys[i%series], "spruce", "default", p)
+			i++
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package monitor
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/livenet"
+	"abw/internal/tools/registry"
+	"abw/internal/unit"
+)
+
+// waitFor polls cond until it holds or the deadline expires. The fake
+// clock makes *scheduling* deterministic, but dispatched runs execute
+// on real goroutines, so tests wait for them to drain.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// drain advances the fake clock by d and waits until the store holds at
+// least wantPoints points with no run in flight — i.e. the runs the
+// advance made due have completed and been rescheduled. (Checking
+// Active==0 alone races with the scheduler: it is also true before the
+// loop dispatches anything.)
+func drain(t *testing.T, m *Monitor, clk *FakeClock, d time.Duration, wantPoints uint64) {
+	t.Helper()
+	clk.Advance(d)
+	waitFor(t, "runs to drain", func() bool {
+		st := m.Stats()
+		return st.Points >= wantPoints && st.Active == 0 && st.Scheduled == st.Targets
+	})
+}
+
+func simTargets() []Target {
+	return []Target{
+		{Name: "edge-a", Tenant: "acme", Tool: "spruce", Scenario: "canonical", Params: registry.Params{Repeat: 2}},
+		{Name: "edge-b", Tenant: "acme", Tool: "delphi", Scenario: "bursty", Params: registry.Params{Repeat: 2, StreamLen: 5}},
+		{Name: "core-1", Tenant: "globex", Tool: "pathload", Scenario: "step", Params: registry.Params{Repeat: 2, StreamLen: 20, MaxRounds: 6}},
+	}
+}
+
+// runScripted builds a monitor over a fake clock, advances it through
+// `steps` intervals, closes it, and returns the store snapshot.
+func runScripted(t *testing.T, seed uint64, steps int) Snapshot {
+	t.Helper()
+	clk := NewFakeClock(time.Unix(1_700_000_000, 0).UTC())
+	m, err := New(Config{
+		Targets:  simTargets(),
+		Interval: 10 * time.Second,
+		Seed:     seed,
+		Clock:    clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	for i := 0; i < steps; i++ {
+		drain(t, m, clk, 11*time.Second, uint64(3*(i+1)))
+	}
+	m.Close()
+	return m.Store().Snapshot(time.Unix(0, 0))
+}
+
+// TestMonitorDeterministicUnderFakeClock is the hermeticity acceptance:
+// two monitors with the same config, seed, and advance script produce
+// byte-identical history — every estimate, timestamp, sequence number,
+// and probing cost. This is what makes the monitor testable in CI and
+// its incidents replayable.
+func TestMonitorDeterministicUnderFakeClock(t *testing.T) {
+	a := runScripted(t, 42, 3)
+	b := runScripted(t, 42, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (config, seed, advance script) produced different histories")
+	}
+	if len(a.Series) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(a.Series))
+	}
+	for _, ss := range a.Series {
+		if len(ss.Points) != 3 {
+			t.Errorf("%s/%s: %d points, want 3", ss.Target, ss.Tool, len(ss.Points))
+		}
+		for _, p := range ss.Points {
+			if p.Err != "" {
+				t.Errorf("%s/%s seq %d: unexpected error %q", ss.Target, ss.Tool, p.Seq, p.Err)
+			}
+			if p.True <= 0 {
+				t.Errorf("%s/%s seq %d: sim point lacks ground truth", ss.Target, ss.Tool, p.Seq)
+			}
+			if p.ProbeBytes <= 0 {
+				t.Errorf("%s/%s seq %d: no probing cost recorded", ss.Target, ss.Tool, p.Seq)
+			}
+		}
+	}
+	// A different seed must actually change something (estimates, jitter
+	// draws) — otherwise the determinism above is vacuous.
+	c := runScripted(t, 7, 3)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical histories")
+	}
+}
+
+// TestMonitorFleetBudgetEnforced: with a fleet budget sized for only a
+// few runs, the monitor keeps scheduling but the ledger refuses the
+// excess, refusals land in the series as error points, and the charged
+// totals never exceed the cap — the admission acceptance at the
+// monitor level, not just the ledger level.
+func TestMonitorFleetBudgetEnforced(t *testing.T) {
+	// A spruce run with Repeat 2 actually sends 2 pairs = 6 KB; EstBytes
+	// declares 12 KB so the first reservation fits under the 20 KB cap,
+	// the first two runs succeed, and every later one is refused.
+	const maxBytes = 20_000
+	clk := NewFakeClock(time.Unix(1_700_000_000, 0).UTC())
+	m, err := New(Config{
+		Targets: []Target{
+			{Name: "edge-a", Tool: "spruce", Scenario: "canonical",
+				Params: registry.Params{Repeat: 2}, EstBytes: 12_000},
+		},
+		Interval: 10 * time.Second,
+		Seed:     1,
+		Budget:   core.Budget{MaxBytes: maxBytes},
+		Clock:    clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	for i := 0; i < 6; i++ {
+		drain(t, m, clk, 11*time.Second, uint64(i+1))
+	}
+	m.Close()
+
+	st := m.Stats()
+	led := m.Ledger().Stats()
+	if led.Bytes > maxBytes {
+		t.Errorf("fleet charge %d bytes exceeds cap %d", led.Bytes, maxBytes)
+	}
+	if st.RunsOK == 0 {
+		t.Error("no run succeeded; the cap should admit at least one")
+	}
+	if st.Refused == 0 {
+		t.Error("no run was refused; the cap is not binding in this test")
+	}
+	s, ok := m.Store().Lookup("edge-a/spruce")
+	if !ok {
+		t.Fatal("series missing")
+	}
+	sawRefusal := false
+	for _, p := range s.Last(0) {
+		if p.Err != "" && strings.Contains(p.Err, "refused") {
+			sawRefusal = true
+		}
+	}
+	if !sawRefusal {
+		t.Error("refusals did not land in the series as error points")
+	}
+}
+
+// TestMonitorLiveSessionsLeakFree is the stream-state-leak acceptance:
+// a monitor probing a real in-process receiver runs several cycles,
+// then Close returns the receiver to baseline — zero active sessions,
+// zero active streams.
+func TestMonitorLiveSessionsLeakFree(t *testing.T) {
+	r, err := livenet.ListenReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	m, err := New(Config{
+		Targets: []Target{
+			{Name: "loop", Tool: "delphi", Addr: r.Addr(),
+				Params: registry.Params{Capacity: 200 * unit.Mbps, Repeat: 2, StreamLen: 5}},
+		},
+		Interval: 50 * time.Millisecond,
+		Seed:     3,
+		PoolSize: 2,
+		Receiver: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	waitFor(t, "three live runs", func() bool { return m.Stats().RunsOK >= 3 })
+	m.Close()
+
+	waitFor(t, "receiver back to baseline", func() bool {
+		st := r.Stats()
+		return st.ActiveSessions == 0 && st.ActiveStreams == 0
+	})
+	if st := m.Stats(); st.RunsErr > st.RunsOK {
+		t.Errorf("mostly failing runs: %d ok, %d err", st.RunsOK, st.RunsErr)
+	}
+	s, ok := m.Store().Lookup("loop/delphi")
+	if !ok || s.Len() == 0 {
+		t.Fatal("live series empty")
+	}
+	for _, p := range s.Last(0) {
+		if p.Err == "" && p.True != 0 {
+			t.Errorf("live point carries ground truth %v; live paths have no oracle", p.True)
+		}
+	}
+}
+
+// TestMonitorSnapshotRestartContinuity: a monitor restarted over the
+// same snapshot path presents continuous history — old points retained,
+// sequence numbers continuing, not restarting at zero.
+func TestMonitorSnapshotRestartContinuity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	cfg := func(clk *FakeClock) Config {
+		return Config{
+			Targets: []Target{
+				{Name: "edge-a", Tool: "spruce", Scenario: "canonical", Params: registry.Params{Repeat: 2}},
+			},
+			Interval:     10 * time.Second,
+			Seed:         9,
+			SnapshotPath: path,
+			Clock:        clk,
+		}
+	}
+
+	clk := NewFakeClock(time.Unix(1_700_000_000, 0).UTC())
+	m1, err := New(cfg(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Start()
+	drain(t, m1, clk, 11*time.Second, 1)
+	drain(t, m1, clk, 11*time.Second, 2)
+	m1.Close() // writes the final snapshot
+	s1, _ := m1.Store().Lookup("edge-a/spruce")
+	if s1.Len() != 2 {
+		t.Fatalf("first life recorded %d points, want 2", s1.Len())
+	}
+
+	clk2 := NewFakeClock(time.Unix(1_700_000_100, 0).UTC())
+	m2, err := New(cfg(clk2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Start()
+	// Appends counts this life's appends only; the restored points do
+	// not move it.
+	drain(t, m2, clk2, 11*time.Second, 1)
+	m2.Close()
+	s2, ok := m2.Store().Lookup("edge-a/spruce")
+	if !ok {
+		t.Fatal("restarted store lost the series")
+	}
+	pts := s2.Last(0)
+	if len(pts) != 3 {
+		t.Fatalf("restarted series has %d points, want 2 restored + 1 new", len(pts))
+	}
+	if pts[2].Seq != 2 {
+		t.Errorf("new point Seq = %d, want 2 (continuing the snapshot)", pts[2].Seq)
+	}
+}
+
+// TestNewValidation: configuration errors surface at New with the
+// offending target named, not at the first scheduled run.
+func TestNewValidation(t *testing.T) {
+	base := Target{Name: "t", Tool: "spruce", Scenario: "canonical"}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"no targets", func(c *Config) { c.Targets = nil }, "at least one target"},
+		{"unknown tool", func(c *Config) { c.Targets[0].Tool = "warpdrive" }, "unknown tool"},
+		{"unknown scenario", func(c *Config) { c.Targets[0].Scenario = "atlantis" }, "unknown scenario"},
+		{"both addr and scenario", func(c *Config) { c.Targets[0].Addr = "127.0.0.1:1" }, "exactly one"},
+		{"neither addr nor scenario", func(c *Config) { c.Targets[0].Scenario = "" }, "exactly one"},
+		{"no name", func(c *Config) { c.Targets[0].Name = "" }, "needs a name"},
+		{"preset budget", func(c *Config) { c.Targets[0].Params.Budget = core.Budget{MaxBytes: 1} }, "owned by the monitor"},
+		{"live missing capacity", func(c *Config) {
+			c.Targets[0] = Target{Name: "t", Tool: "spruce", Addr: "127.0.0.1:1"}
+		}, "needs Params.Capacity"},
+		{"live sim-only tool", func(c *Config) {
+			c.Targets[0] = Target{Name: "t", Tool: "bfind", Addr: "127.0.0.1:1"}
+		}, "simulator-only"},
+		{"duplicate", func(c *Config) { c.Targets = append(c.Targets, base) }, "duplicate target"},
+	}
+	for _, tc := range cases {
+		cfg := Config{Targets: []Target{base}, Clock: NewFakeClock(time.Unix(0, 0))}
+		tc.mutate(&cfg)
+		_, err := New(cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// And the happy path still constructs.
+	if _, err := New(Config{Targets: []Target{base}, Clock: NewFakeClock(time.Unix(0, 0))}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestMonitorCloseIdempotent: Close twice (including before Start) is
+// safe and leaves Stats consistent.
+func TestMonitorCloseIdempotent(t *testing.T) {
+	m, err := New(Config{
+		Targets: []Target{{Name: "t", Tool: "spruce", Scenario: "canonical"}},
+		Clock:   NewFakeClock(time.Unix(0, 0)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close()
+
+	clk := NewFakeClock(time.Unix(0, 0))
+	m2, err := New(Config{
+		Targets: []Target{{Name: "t", Tool: "spruce", Scenario: "canonical", Params: registry.Params{Repeat: 1}}},
+		Clock:   clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Start()
+	drain(t, m2, clk, time.Minute, 1)
+	m2.Close()
+	m2.Close()
+	if st := m2.Stats(); st.RunsOK == 0 {
+		t.Error("no run completed before close")
+	}
+}

@@ -1,0 +1,494 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"abw/internal/core"
+	"abw/internal/livenet"
+	"abw/internal/rng"
+	"abw/internal/scenario"
+	"abw/internal/tools/registry"
+	"abw/internal/unit"
+)
+
+// simRecorderEpoch is the aggregate-recorder granularity sim targets
+// compile with: per-epoch counters instead of per-packet rows, so a
+// monitor that runs for weeks holds bounded ground-truth state.
+const simRecorderEpoch = 100 * time.Millisecond
+
+// entry is one scheduled (target, tool) assignment and its run state.
+// The scheduler guarantees at most one run of an entry is in flight,
+// so everything below the config fields is accessed by exactly one
+// goroutine at a time.
+type entry struct {
+	key        string // "name/tool", the series key
+	tenant     string
+	t          Target
+	d          registry.Descriptor
+	sc         scenario.Descriptor // set for sim targets
+	interval   time.Duration
+	jitter     *rng.Rand
+	jitterFrac float64
+
+	at     time.Time // next due time, owned by the scheduler under m.mu
+	pos    int       // heap position, -1 when not queued
+	runSeq uint64
+
+	sim      *scenario.Compiled
+	simEpoch uint64
+
+	cost      Cost
+	costKnown bool
+}
+
+// newEntry validates one target against the tool registry and the
+// scenario catalog, so every configuration error surfaces at New, not
+// minutes later on the first scheduled run.
+func (m *Monitor) newEntry(i int, t Target) (*entry, error) {
+	if t.Name == "" {
+		return nil, fmt.Errorf("monitor: target %d needs a name", i)
+	}
+	if t.Tenant == "" {
+		t.Tenant = "default"
+	}
+	d, ok := registry.Lookup(t.Tool)
+	if !ok {
+		return nil, fmt.Errorf("monitor: target %q: unknown tool %q (have %v)", t.Name, t.Tool, registry.Names())
+	}
+	if (t.Addr == "") == (t.Scenario == "") {
+		return nil, fmt.Errorf("monitor: target %q: exactly one of Addr and Scenario must be set", t.Name)
+	}
+	if t.Params.Rand != nil || t.Params.Observer != nil || !t.Params.Budget.IsZero() {
+		return nil, fmt.Errorf("monitor: target %q: Rand, Observer and Budget are run wiring owned by the monitor", t.Name)
+	}
+	e := &entry{
+		key:        t.Name + "/" + d.Name,
+		tenant:     t.Tenant,
+		t:          t,
+		d:          d,
+		interval:   t.Interval,
+		jitterFrac: m.cfg.Jitter,
+		pos:        -1,
+	}
+	if e.interval <= 0 {
+		e.interval = m.cfg.Interval
+	}
+	e.jitter = rng.Derive(m.cfg.Seed, "jitter/"+e.tenant+"/"+e.key)
+	if t.Scenario != "" {
+		sc, ok := scenario.Lookup(t.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("monitor: target %q: unknown scenario %q (have %v)", t.Name, t.Scenario, scenario.Names())
+		}
+		e.sc = sc
+		return e, nil
+	}
+	if d.SimOnly {
+		return nil, fmt.Errorf("monitor: target %q: %s is simulator-only and cannot probe a live address", t.Name, d.Name)
+	}
+	// Live targets get Rand from the monitor; every other requirement
+	// must be satisfied by the configured Params (a sim target's
+	// Capacity comes from ground truth instead).
+	for _, miss := range d.MissingParams(t.Params) {
+		if miss != "Rand" {
+			return nil, fmt.Errorf("monitor: target %q: %s needs Params.%s", t.Name, d.Name, miss)
+		}
+	}
+	return e, nil
+}
+
+// nextCost projects the run's probing cost for admission: the last
+// run's actuals with 50% headroom once known, otherwise a conservative
+// bound derived from the tool's defaults-resolved parameters (with 2x
+// headroom — the reservation doubles as the run's hard core.Budget, so
+// undershooting kills runs, while overshooting merely defers them).
+func (e *entry) nextCost() Cost {
+	if e.costKnown {
+		return e.cost
+	}
+	p := e.d.ResolvedParams(e.t.Params)
+	streams := p.Repeat
+	if streams < 1 {
+		streams = 1
+	}
+	rounds := p.MaxRounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	streams *= rounds
+	slen := p.StreamLen
+	if slen < 1 {
+		slen = 100
+	}
+	psize := p.PktSize
+	if psize <= 0 {
+		psize = 1500
+	}
+	c := Cost{
+		Streams: 2 * streams,
+		Packets: 2 * streams * slen,
+		Bytes:   2 * unit.Bytes(streams*slen) * psize,
+	}
+	if e.t.EstBytes > 0 {
+		c.Bytes = e.t.EstBytes
+	}
+	return c
+}
+
+// learnCost adapts the projection to a completed run's actuals.
+func (e *entry) learnCost(actual Cost) {
+	if actual.Bytes <= 0 {
+		return
+	}
+	e.cost = Cost{
+		Streams: actual.Streams*3/2 + 1,
+		Packets: actual.Packets*3/2 + 1,
+		Bytes:   actual.Bytes*3/2 + 1,
+	}
+	e.costKnown = true
+}
+
+// doubleCost reacts to a run that exhausted its own reservation: the
+// next one asks for twice as much instead of failing forever.
+func (e *entry) doubleCost() {
+	if !e.costKnown {
+		e.cost = e.nextCost()
+		e.costKnown = true
+	}
+	e.cost.Streams *= 2
+	e.cost.Packets *= 2
+	e.cost.Bytes *= 2
+}
+
+// loop is the scheduler: pop due entries and dispatch them, wait for
+// the earliest deadline otherwise. Every wait goes through the
+// injectable clock, which is what makes the whole service hermetic
+// under a FakeClock.
+func (m *Monitor) loop() {
+	defer close(m.loopDone)
+	timer := m.clock.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		m.mu.Lock()
+		wait := time.Duration(-1)
+		var due *entry
+		if next := m.heap.peek(); next != nil {
+			if d := next.at.Sub(m.clock.Now()); d <= 0 {
+				due = m.heap.pop()
+				m.active++
+			} else {
+				wait = d
+			}
+		}
+		m.mu.Unlock()
+		if due != nil {
+			m.wg.Add(1)
+			go m.runEntry(due)
+			continue
+		}
+		if wait < 0 {
+			wait = time.Hour
+		}
+		timer.Reset(wait)
+		select {
+		case <-m.root.Done():
+			return
+		case <-timer.C():
+		case <-m.wake:
+		}
+	}
+}
+
+// wakeLoop nudges the scheduler to re-examine the heap.
+func (m *Monitor) wakeLoop() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// runEntry executes one scheduled run end to end: worker slot,
+// admission, transport, estimate, settlement, store append, and
+// rescheduling. It is the only goroutine touching the entry's run
+// state while it holds it.
+func (m *Monitor) runEntry(e *entry) {
+	defer m.wg.Done()
+	dispatched := m.clock.Now()
+	var next time.Time // zero = do not reschedule (shutdown)
+
+	defer func() {
+		m.mu.Lock()
+		m.active--
+		if !next.IsZero() && !m.closed {
+			if now := m.clock.Now(); next.Before(now) {
+				// The run (or its deferral) outlived its next slot; slide
+				// instead of overlapping — an entry never runs twice at
+				// once.
+				m.overruns++
+				next = now
+			}
+			e.at = next
+			m.heap.push(e)
+		}
+		m.mu.Unlock()
+		m.wakeLoop()
+	}()
+
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-m.root.Done():
+		return
+	}
+
+	now := m.clock.Now()
+	cost := e.nextCost()
+	resID, err := m.ledger.Admit(e.tenant, cost)
+	if err != nil {
+		// Turned away before any packet: the decision is itself a data
+		// point (a series full of deferrals says the fleet cap is the
+		// binding constraint), and a deferral reschedules at the
+		// ledger's retry hint rather than the nominal interval.
+		m.store.Append(e.t.Name, e.d.Name, e.tenant, Point{At: now, Err: err.Error()})
+		var ref *Refusal
+		if errors.As(err, &ref) && ref.RetryAfter > 0 {
+			next = now.Add(ref.RetryAfter)
+		} else {
+			next = e.nextAt(dispatched)
+		}
+		return
+	}
+
+	rep, trueBw, err := m.execute(e, cost)
+	var actual Cost
+	if rep != nil {
+		actual = Cost{Streams: rep.Streams, Packets: rep.Packets, Bytes: rep.ProbeBytes}
+	}
+	m.ledger.Commit(resID, actual)
+
+	p := Point{At: now, True: trueBw}
+	if err != nil {
+		p.Err = err.Error()
+		m.mu.Lock()
+		m.runsErr++
+		m.mu.Unlock()
+		if errors.Is(err, core.ErrBudget) {
+			e.doubleCost()
+		}
+	} else {
+		p.Point, p.Low, p.High = rep.Point, rep.Low, rep.High
+		p.Streams, p.Packets = rep.Streams, rep.Packets
+		p.ProbeBytes, p.Elapsed = rep.ProbeBytes, rep.Elapsed
+		e.learnCost(actual)
+		m.mu.Lock()
+		m.runsOK++
+		m.mu.Unlock()
+	}
+	m.store.Append(e.t.Name, e.d.Name, e.tenant, p)
+	next = e.nextAt(dispatched)
+}
+
+// nextAt is the entry's next due time: one interval after this run's
+// dispatch, jittered by a deterministic ±Jitter×interval draw.
+func (e *entry) nextAt(dispatched time.Time) time.Time {
+	return dispatched.Add(e.interval + e.jitterSpan())
+}
+
+// jitterSpan draws the entry's next jitter offset, uniform in
+// ±jitterFrac×interval from its own derived rng stream — deterministic
+// per entry whatever the cross-entry goroutine interleaving.
+func (e *entry) jitterSpan() time.Duration {
+	if e.jitterFrac <= 0 {
+		return 0
+	}
+	f := (e.jitter.Float64()*2 - 1) * e.jitterFrac
+	return time.Duration(f * float64(e.interval))
+}
+
+// execute runs the estimator over the entry's transport. Sim targets
+// probe their compiled scenario (recompiling once its horizon is
+// spent); live targets lease a session from the receiver's pool, with
+// a watchdog that closes the transport if the run outlives its
+// timeout — the only way to unblock a probe stuck inside a socket
+// read.
+func (m *Monitor) execute(e *entry, cost Cost) (*core.Report, unit.Rate, error) {
+	params := e.t.Params
+	params.Rand = rng.Derive(m.cfg.Seed, fmt.Sprintf("run/%s/%d", e.key, e.runSeq))
+	e.runSeq++
+	ctx, cancel := context.WithTimeout(m.root, m.cfg.RunTimeout)
+	defer cancel()
+
+	if e.t.Scenario != "" {
+		if err := m.ensureSim(e); err != nil {
+			return nil, 0, err
+		}
+		if params.Capacity == 0 {
+			params.Capacity = e.sim.Capacity
+		}
+		if !e.d.SimOnly {
+			// The reservation is the run's hard budget; SimOnly tools
+			// drive the simulator below the Transport seam, so for them
+			// the ledger's reservation is accounting only.
+			params.Budget = cost.Budget()
+		}
+		rep, err := registry.Estimate(ctx, e.d.Name, params, e.sim.Transport)
+		return rep, e.sim.TrueAvailBw, err
+	}
+
+	pool, err := m.poolFor(e.t.Addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	tr, err := pool.Get(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	params.Budget = cost.Budget()
+	watchdog := context.AfterFunc(ctx, func() { tr.Close() })
+	rep, err := registry.Estimate(ctx, e.d.Name, params, tr)
+	healthy := watchdog()
+	if err != nil && !errors.Is(err, core.ErrBudget) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// A transport-level failure may have desynchronized the control
+		// channel; discard the session rather than risk misaligned
+		// replies. Budget and cancellation errors happen at stream
+		// boundaries and leave the channel clean.
+		healthy = false
+	}
+	if !healthy {
+		m.mu.Lock()
+		m.redials++
+		m.mu.Unlock()
+	}
+	pool.Put(tr, healthy)
+	return rep, 0, err
+}
+
+// ensureSim compiles the entry's scenario on first use and recompiles
+// it — under a fresh derived seed, so the new cross-traffic sample
+// path is independent but reproducible — once probing has consumed
+// three quarters of its horizon. Consecutive runs between recompiles
+// observe consecutive slices of one cross-traffic process, exactly how
+// a periodic live prober samples a real path.
+func (m *Monitor) ensureSim(e *entry) error {
+	if e.sim != nil {
+		if e.sim.Transport.Now() < e.sim.Spec.Horizon*3/4 {
+			return nil
+		}
+		e.sim = nil
+		m.mu.Lock()
+		m.recompiles++
+		m.mu.Unlock()
+	}
+	seed := rng.Derive(m.cfg.Seed, fmt.Sprintf("sim/%s/epoch%d", e.key, e.simEpoch)).Uint64()
+	e.simEpoch++
+	cpl, err := e.sc.CompileSeededAggregate(seed, simRecorderEpoch)
+	if err != nil {
+		return fmt.Errorf("monitor: target %q: compiling scenario %q: %w", e.t.Name, e.t.Scenario, err)
+	}
+	e.sim = cpl
+	return nil
+}
+
+// poolFor returns the session pool for a live receiver address,
+// dialing it on first use (outside the monitor lock — dials are slow).
+func (m *Monitor) poolFor(addr string) (*livenet.Pool, error) {
+	m.mu.Lock()
+	if p := m.pools[addr]; p != nil {
+		m.mu.Unlock()
+		return p, nil
+	}
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("monitor: closed")
+	}
+	p, err := livenet.DialPool(addr, m.cfg.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		go p.Close()
+		return nil, fmt.Errorf("monitor: closed")
+	}
+	if exist := m.pools[addr]; exist != nil {
+		go p.Close()
+		return exist, nil
+	}
+	m.pools[addr] = p
+	return p, nil
+}
+
+// --- schedule heap: a plain binary min-heap over entry.at ---
+
+type entryHeap struct {
+	es []*entry
+}
+
+func (h *entryHeap) len() int { return len(h.es) }
+
+func (h *entryHeap) peek() *entry {
+	if len(h.es) == 0 {
+		return nil
+	}
+	return h.es[0]
+}
+
+func (h *entryHeap) push(e *entry) {
+	h.es = append(h.es, e)
+	e.pos = len(h.es) - 1
+	h.up(e.pos)
+}
+
+func (h *entryHeap) pop() *entry {
+	e := h.es[0]
+	last := len(h.es) - 1
+	h.swap(0, last)
+	h.es[last] = nil
+	h.es = h.es[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	e.pos = -1
+	return e
+}
+
+func (h *entryHeap) swap(i, j int) {
+	h.es[i], h.es[j] = h.es[j], h.es[i]
+	h.es[i].pos, h.es[j].pos = i, j
+}
+
+func (h *entryHeap) less(i, j int) bool { return h.es[i].at.Before(h.es[j].at) }
+
+func (h *entryHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *entryHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h.es) && h.less(l, min) {
+			min = l
+		}
+		if r < len(h.es) && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}

@@ -1,0 +1,171 @@
+package monitor
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"abw/internal/unit"
+)
+
+func mkPoint(at time.Time, bps unit.Rate) Point {
+	return Point{At: at, Point: bps, Low: bps - unit.Mbps, High: bps + unit.Mbps}
+}
+
+// TestSeriesRing pins the ring-buffer contract: capacity bounds the
+// window, eviction drops oldest-first, sequence numbers keep counting
+// across evictions, and Last returns oldest-first.
+func TestSeriesRing(t *testing.T) {
+	s := newSeries("tgt", "spruce", "default", 4)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 7; i++ {
+		s.Append(mkPoint(t0.Add(time.Duration(i)*time.Second), unit.Rate(i)*unit.Mbps))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Evicted() != 3 {
+		t.Errorf("Evicted = %d, want 3", s.Evicted())
+	}
+	pts := s.Last(0)
+	if len(pts) != 4 {
+		t.Fatalf("Last(0) returned %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		wantSeq := uint64(3 + i)
+		if p.Seq != wantSeq {
+			t.Errorf("point %d: Seq = %d, want %d", i, p.Seq, wantSeq)
+		}
+		if p.Point != unit.Rate(3+i)*unit.Mbps {
+			t.Errorf("point %d: rate = %v, want %v", i, p.Point, unit.Rate(3+i)*unit.Mbps)
+		}
+	}
+	if got := s.Last(2); len(got) != 2 || got[1].Seq != 6 {
+		t.Errorf("Last(2) = %+v, want the 2 newest (Seq 5, 6)", got)
+	}
+}
+
+// TestSeriesRollup checks the aggregate: min/mean/max over successful
+// estimates, the variation range as the union of per-run ranges, and
+// error points counted but excluded from the numbers.
+func TestSeriesRollup(t *testing.T) {
+	s := newSeries("tgt", "pathload", "default", 8)
+	t0 := time.Unix(1000, 0)
+	s.Append(Point{At: t0, Point: 40 * unit.Mbps, Low: 30 * unit.Mbps, High: 50 * unit.Mbps})
+	s.Append(Point{At: t0.Add(time.Second), Err: "budget refused"})
+	s.Append(Point{At: t0.Add(2 * time.Second), Point: 60 * unit.Mbps, Low: 55 * unit.Mbps, High: 80 * unit.Mbps})
+	r := s.Rollup()
+	if r.Count != 3 || r.Errors != 1 {
+		t.Fatalf("Count/Errors = %d/%d, want 3/1", r.Count, r.Errors)
+	}
+	if r.Min != 40*unit.Mbps || r.Max != 60*unit.Mbps {
+		t.Errorf("Min/Max = %v/%v, want 40/60 Mbps", r.Min, r.Max)
+	}
+	if r.Mean != 50*unit.Mbps {
+		t.Errorf("Mean = %v, want 50 Mbps", r.Mean)
+	}
+	if r.VarLow != 30*unit.Mbps || r.VarHigh != 80*unit.Mbps {
+		t.Errorf("variation range = [%v, %v], want the union [30, 80] Mbps", r.VarLow, r.VarHigh)
+	}
+	if r.Last != 60*unit.Mbps || !r.LastAt.Equal(t0.Add(2*time.Second)) {
+		t.Errorf("Last/LastAt = %v/%v, want 60 Mbps at t0+2s", r.Last, r.LastAt)
+	}
+}
+
+// TestStoreCompact: compaction drops old points, removes emptied
+// series, and keeps the remainder intact.
+func TestStoreCompact(t *testing.T) {
+	st := NewStore(16)
+	t0 := time.Unix(1000, 0)
+	st.Append("old", "spruce", "a", mkPoint(t0, 10*unit.Mbps))
+	st.Append("mixed", "spruce", "a", mkPoint(t0, 10*unit.Mbps))
+	st.Append("mixed", "spruce", "a", mkPoint(t0.Add(time.Hour), 20*unit.Mbps))
+	points, removed := st.Compact(t0.Add(time.Minute))
+	if points != 2 || removed != 1 {
+		t.Fatalf("Compact = (%d points, %d removed), want (2, 1)", points, removed)
+	}
+	if _, ok := st.Lookup("old/spruce"); ok {
+		t.Error("emptied series survived compaction")
+	}
+	s, ok := st.Lookup("mixed/spruce")
+	if !ok || s.Len() != 1 {
+		t.Fatalf("mixed series = %v len %d, want 1 surviving point", ok, s.Len())
+	}
+	if got := s.Last(0)[0].Point; got != 20*unit.Mbps {
+		t.Errorf("surviving point = %v, want the newer 20 Mbps", got)
+	}
+}
+
+// TestSnapshotRoundtrip: write → load → restore reproduces the window
+// byte-for-byte, continues sequence numbering, and a capacity-smaller
+// restore keeps the newest points.
+func TestSnapshotRoundtrip(t *testing.T) {
+	st := NewStore(8)
+	t0 := time.Unix(1000, 0).UTC()
+	for i := 0; i < 5; i++ {
+		st.Append("tgt", "spruce", "acme", mkPoint(t0.Add(time.Duration(i)*time.Second), unit.Rate(i+1)*unit.Mbps))
+	}
+	st.Append("tgt2", "delphi", "acme", Point{At: t0, Err: "refused"})
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := st.WriteSnapshot(path, t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != snapshotSchema || len(snap.Series) != 2 {
+		t.Fatalf("snapshot schema %q, %d series; want %q, 2", snap.Schema, len(snap.Series), snapshotSchema)
+	}
+
+	st2 := NewStore(8)
+	st2.Restore(snap)
+	s, ok := st2.Lookup("tgt/spruce")
+	if !ok {
+		t.Fatal("restored store lost tgt/spruce")
+	}
+	if !reflect.DeepEqual(s.Last(0), st.All()[0].Last(0)) {
+		t.Error("restored points differ from the originals")
+	}
+	if s.Tenant != "acme" {
+		t.Errorf("restored tenant = %q, want acme", s.Tenant)
+	}
+	s.Append(mkPoint(t0.Add(time.Hour), unit.Mbps))
+	if got := s.Last(1)[0].Seq; got != 5 {
+		t.Errorf("post-restore Seq = %d, want 5 (continuing the snapshot's numbering)", got)
+	}
+
+	// A smaller store keeps the newest points and counts the truncation
+	// as evicted.
+	st3 := NewStore(2)
+	st3.Restore(snap)
+	s3, _ := st3.Lookup("tgt/spruce")
+	pts := s3.Last(0)
+	if len(pts) != 2 || pts[0].Seq != 3 || pts[1].Seq != 4 {
+		t.Fatalf("truncated restore = %+v, want Seq 3,4", pts)
+	}
+	if s3.Evicted() != 3 {
+		t.Errorf("truncated restore Evicted = %d, want 3", s3.Evicted())
+	}
+}
+
+// TestLoadSnapshotRejectsForeignSchema: a schema mismatch is an error,
+// not a silent empty store.
+func TestLoadSnapshotRejectsForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	st := NewStore(4)
+	if err := st.WriteSnapshot(path, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":"other/9","series":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}

@@ -182,6 +182,15 @@ func (d Descriptor) MissingParams(p Params) []string {
 	return missing
 }
 
+// ResolvedParams returns p with zero fields filled from the
+// descriptor's defaults — the parameters a run built from p would
+// actually use. Callers that need to reason about a run before it
+// happens (the monitor's admission-cost projection) read these instead
+// of re-deriving default tables.
+func (d Descriptor) ResolvedParams(p Params) Params {
+	return p.merged(d.Defaults)
+}
+
 // build validates requirements and runs the descriptor's builder on
 // the defaults-merged Params; Build and Estimate share it so lookup
 // and merge each happen once.

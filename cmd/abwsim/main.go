@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,18 +41,50 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "", "experiment: fig1..fig7, table1, latency, narrowtight, matrix, all")
-		only     = flag.String("only", "", "run only this comma-separated subset; with -md, the rest load from the -json dir (see -list for names)")
-		list     = flag.Bool("list", false, "list experiments and the misconception catalog")
-		quick    = flag.Bool("quick", false, "reduced trial counts (~10x faster)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "trial-engine workers (0 = one per CPU)")
-		progress = flag.Bool("progress", false, "print per-trial progress to stderr")
-		jsonDir  = flag.String("json", "", "directory for one structured JSON result per experiment")
-		mdPath   = flag.String("md", "", "write the paper-vs-measured markdown doc (EXPERIMENTS.md) here")
+		which      = flag.String("exp", "", "experiment: fig1..fig7, table1, latency, narrowtight, matrix, all")
+		only       = flag.String("only", "", "run only this comma-separated subset; with -md, the rest load from the -json dir (see -list for names)")
+		list       = flag.Bool("list", false, "list experiments and the misconception catalog")
+		quick      = flag.Bool("quick", false, "reduced trial counts (~10x faster)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", 0, "trial-engine workers (0 = one per CPU)")
+		progress   = flag.Bool("progress", false, "print per-trial progress to stderr")
+		jsonDir    = flag.String("json", "", "directory for one structured JSON result per experiment")
+		mdPath     = flag.String("md", "", "write the paper-vs-measured markdown doc (EXPERIMENTS.md) here")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after all experiments) to this file")
 	)
 	flag.Parse()
 	runner.SetWorkers(*parallel)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abwsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "abwsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "abwsim: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable pool garbage so live arenas dominate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "abwsim: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	if *progress {
 		runner.SetProgress(func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r  %d/%d trials", done, total)

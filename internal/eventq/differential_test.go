@@ -1,0 +1,210 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// queueImpl is the surface the differential test drives; Queue (the
+// timing wheel) and heapQueue (the retained min-heap) both satisfy it.
+type queueImpl interface {
+	Schedule(time.Duration, func()) Handle
+	ScheduleArg(time.Duration, func(any), any) Handle
+	Cancel(Handle)
+	Pop() *Event
+	PopUntil(time.Duration) *Event
+	Release(*Event)
+	Peek() *Event
+	Len() int
+	SetPooling(bool)
+}
+
+// scheduleAt picks an instant for a randomized schedule op, mixing the
+// regimes the wheel treats differently: the cursor's own tick, the
+// recent past (overdue), nearby level-0 buckets, mid-wheel levels, the
+// far future (spill), and exact duplicates of the previous instant for
+// tie-break coverage.
+func scheduleAt(r *rand.Rand, now, prev time.Duration) time.Duration {
+	switch r.Intn(10) {
+	case 0: // same instant as an earlier event: seq must break the tie
+		if prev >= 0 {
+			return prev
+		}
+		return now
+	case 1: // in the past (relative to events already popped)
+		return now - time.Duration(r.Int63n(int64(time.Millisecond)+1))
+	case 2, 3, 4: // current or adjacent ticks
+		return now + time.Duration(r.Int63n(3<<tickShift))
+	case 5, 6, 7: // level 0-1 of the wheel
+		return now + time.Duration(r.Int63n(int64(wheelSize)<<(tickShift+wheelBits)))
+	case 8: // level 2-3
+		return now + time.Duration(r.Int63n(1<<(tickShift+3*wheelBits)))
+	default: // beyond the horizon: spill
+		return now + time.Duration(1)<<(tickShift+epochShift) + time.Duration(r.Int63n(int64(time.Hour)))
+	}
+}
+
+// TestWheelMatchesHeapDifferential drives the wheel and the heap with
+// identical randomized Schedule/Cancel/Pop/Peek scripts across seeds
+// and asserts identical observable behavior at every step: lengths,
+// peeked and popped (At, payload) pairs — covering same-instant
+// tie-breaks — and the outcome of cancels through live, stale, and
+// recycled handles.
+func TestWheelMatchesHeapDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var w Queue
+		h := newHeapQueue()
+		impls := [2]queueImpl{&w, h}
+
+		// Parallel handle logs, one per implementation, including
+		// fired and canceled handles so cancels exercise staleness.
+		var handles [2][]Handle
+		now, prev := time.Duration(0), time.Duration(-1)
+		nextPayload := 0
+
+		pop := func() {
+			var popped [2]*Event
+			for i, q := range impls {
+				popped[i] = q.Pop()
+			}
+			if (popped[0] == nil) != (popped[1] == nil) {
+				t.Fatalf("seed %d: wheel popped %v, heap popped %v", seed, popped[0], popped[1])
+			}
+			if popped[0] == nil {
+				return
+			}
+			if popped[0].At != popped[1].At || popped[0].arg != popped[1].arg {
+				t.Fatalf("seed %d: pop mismatch: wheel (%v, %v) heap (%v, %v)",
+					seed, popped[0].At, popped[0].arg, popped[1].At, popped[1].arg)
+			}
+			if popped[0].At > now {
+				now = popped[0].At
+			}
+			for i, q := range impls {
+				q.Release(popped[i])
+			}
+		}
+
+		const ops = 4000
+		for op := 0; op < ops; op++ {
+			switch k := r.Intn(100); {
+			case k < 55: // schedule
+				at := scheduleAt(r, now, prev)
+				prev = at
+				payload := nextPayload
+				nextPayload++
+				for i, q := range impls {
+					handles[i] = append(handles[i], q.ScheduleArg(at, func(any) {}, payload))
+				}
+			case k < 75: // cancel a random handle — possibly stale
+				if len(handles[0]) == 0 {
+					continue
+				}
+				j := r.Intn(len(handles[0]))
+				wasPending := handles[0][j].Pending()
+				if p1 := handles[1][j].Pending(); wasPending != p1 {
+					t.Fatalf("seed %d op %d: Pending mismatch: wheel %v heap %v", seed, op, wasPending, p1)
+				}
+				for i, q := range impls {
+					q.Cancel(handles[i][j])
+				}
+				// A live cancel must register on both. (A stale cancel's
+				// Canceled() may differ: it reports false once the struct
+				// is recycled, and the implementations recycle at
+				// different times — a timing the contract never fixed.)
+				if wasPending {
+					for i := range impls {
+						if h := handles[i][j]; h.Pending() || !h.Canceled() {
+							t.Fatalf("seed %d op %d impl %d: live cancel: Pending=%v Canceled=%v",
+								seed, op, i, h.Pending(), h.Canceled())
+						}
+					}
+				}
+			case k < 85: // pop a burst
+				for i := r.Intn(4); i >= 0; i-- {
+					pop()
+				}
+			case k < 95: // drain a bounded slice, RunUntil-style
+				deadline := now + time.Duration(r.Int63n(int64(200*time.Millisecond)))
+				for {
+					var popped [2]*Event
+					for i, q := range impls {
+						popped[i] = q.PopUntil(deadline)
+					}
+					if (popped[0] == nil) != (popped[1] == nil) {
+						t.Fatalf("seed %d op %d: PopUntil(%v): wheel %v, heap %v",
+							seed, op, deadline, popped[0], popped[1])
+					}
+					if popped[0] == nil {
+						break
+					}
+					if popped[0].At != popped[1].At || popped[0].arg != popped[1].arg {
+						t.Fatalf("seed %d op %d: PopUntil mismatch: wheel (%v, %v) heap (%v, %v)",
+							seed, op, popped[0].At, popped[0].arg, popped[1].At, popped[1].arg)
+					}
+					for i, q := range impls {
+						q.Release(popped[i])
+					}
+				}
+				if deadline > now {
+					now = deadline
+				}
+			default: // peek
+				pw, ph := impls[0].Peek(), impls[1].Peek()
+				if (pw == nil) != (ph == nil) {
+					t.Fatalf("seed %d op %d: peek nil mismatch", seed, op)
+				}
+				if pw != nil && (pw.At != ph.At || pw.arg != ph.arg) {
+					t.Fatalf("seed %d op %d: peek mismatch: wheel (%v, %v) heap (%v, %v)",
+						seed, op, pw.At, pw.arg, ph.At, ph.arg)
+				}
+			}
+			if w.Len() != h.Len() {
+				t.Fatalf("seed %d op %d: Len mismatch: wheel %d heap %d", seed, op, w.Len(), h.Len())
+			}
+		}
+
+		// Drain both queues completely; every remaining pop must match.
+		for w.Len() > 0 || h.Len() > 0 {
+			pop()
+		}
+		pop() // both empty: both must return nil
+	}
+}
+
+// TestWheelMatchesHeapUnpooled repeats a short differential run with
+// pooling off, so recycled-struct aliasing can't mask an ordering bug.
+func TestWheelMatchesHeapUnpooled(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var w Queue
+	h := newHeapQueue()
+	w.SetPooling(false)
+	h.SetPooling(false)
+	now, prev := time.Duration(0), time.Duration(-1)
+	for op := 0; op < 1200; op++ {
+		if r.Intn(3) > 0 {
+			at := scheduleAt(r, now, prev)
+			prev = at
+			w.Schedule(at, nil)
+			h.Schedule(at, nil)
+			continue
+		}
+		ew, eh := w.Pop(), h.Pop()
+		if (ew == nil) != (eh == nil) {
+			t.Fatalf("op %d: pop nil mismatch", op)
+		}
+		if ew == nil {
+			continue
+		}
+		if ew.At != eh.At || ew.seq != eh.seq {
+			t.Fatalf("op %d: pop mismatch: wheel (%v, %d) heap (%v, %d)", op, ew.At, ew.seq, eh.At, eh.seq)
+		}
+		if ew.At > now {
+			now = ew.At
+		}
+		w.Release(ew)
+		h.Release(eh)
+	}
+}

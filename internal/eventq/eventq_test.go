@@ -286,3 +286,33 @@ func BenchmarkScheduleAndPop(b *testing.B) {
 		q.Schedule(e.At+time.Duration(rnd.Intn(1<<20)), nil)
 	}
 }
+
+// deepBench runs the steady-depth schedule/pop loop against either
+// implementation at a queue depth where the heap's O(log n) hurts:
+// 16384 pending events spread over a 16.7ms window (multiple wheel
+// levels). The wheel/heap pair is the acceptance comparison for the
+// timing-wheel migration — the wheel must stay well ahead.
+func deepBench(b *testing.B, q queueImpl) {
+	const depth = 16384
+	const window = 1 << 24 // ns
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < depth; i++ {
+		q.Schedule(time.Duration(rnd.Intn(window)), nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Pop()
+		q.Release(e)
+		q.Schedule(e.At+time.Duration(rnd.Intn(window)), nil)
+	}
+}
+
+func BenchmarkScheduleAndPopDeep(b *testing.B) {
+	var q Queue
+	deepBench(b, &q)
+}
+
+func BenchmarkScheduleAndPopDeepHeap(b *testing.B) {
+	deepBench(b, newHeapQueue())
+}

@@ -8,13 +8,17 @@ import (
 )
 
 // TestMatrixDeterminism is the runner contract applied to the matrix:
-// identical results at 1 worker and 8, because each (scenario, tool)
+// identical results at every shard count, because each (scenario, tool)
 // cell derives everything from the config seed and its own indices.
+// The scenario list is long enough that every shard compiles several
+// scenarios out of its arena — including repeats of scenarios it has
+// recycled — so recycled-memory reuse is under test, not just the
+// fan-out.
 func TestMatrixDeterminism(t *testing.T) {
 	defer runner.SetWorkers(0)
 	cfg := MatrixConfig{
 		Tools:     []string{"delphi", "spruce"},
-		Scenarios: []string{"canonical", "narrowtight"},
+		Scenarios: []string{"canonical", "narrowtight", "bursty", "multibottleneck"},
 		Quick:     true,
 		Seed:      7,
 	}
@@ -23,13 +27,15 @@ func TestMatrixDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runner.SetWorkers(8)
-	parallel, err := Matrix(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Error("matrix results differ between -parallel 1 and -parallel 8")
+	for _, workers := range []int{2, 3, 8} {
+		runner.SetWorkers(workers)
+		parallel, err := Matrix(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("matrix results differ between -parallel 1 and -parallel %d", workers)
+		}
 	}
 }
 

@@ -41,6 +41,14 @@ func TestParallelDeterminism(t *testing.T) {
 			Seed:      7,
 		})
 	}
+	matrix := func() (any, error) {
+		return Matrix(MatrixConfig{
+			Tools:     []string{"delphi", "spruce"},
+			Scenarios: []string{"canonical", "bursty", "narrowtight"},
+			Quick:     true,
+			Seed:      7,
+		})
+	}
 	cases := []struct {
 		name string
 		run  func() (any, error)
@@ -49,6 +57,7 @@ func TestParallelDeterminism(t *testing.T) {
 		{"Table1", table1},
 		{"Figure3", fig3},
 		{"LatencyAccuracy", latency},
+		{"Matrix", matrix},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"time"
+
+	"abw/internal/sim"
+)
+
+// Shard is one worker's reusable simulation memory for repeated
+// scenario compilations: a sim.Arena plus the per-scenario footprint
+// record that sizes it. A matrix-style workload gives each runner shard
+// one Shard; every compile of a scenario the shard has seen before
+// starts with its pools pre-grown to that scenario's last measured
+// footprint, so steady-state trials stop warming pools from cold.
+//
+// A Shard belongs to exactly one goroutine at a time (the runner shard
+// whose index it is stored under); nothing here is synchronized. Like
+// the arena it wraps, a Shard only moves free-list memory around —
+// compiled results are bit-identical with or without one.
+type Shard struct {
+	arena sim.Arena
+	foot  map[string]sim.Footprint
+}
+
+// NewShard returns an empty shard.
+func NewShard() *Shard {
+	return &Shard{foot: make(map[string]sim.Footprint)}
+}
+
+// CompileSeededAggregate mirrors Descriptor.CompileSeededAggregate on
+// the shard's arena: the arena is grown to the descriptor's recorded
+// footprint (when one exists) and primes the fresh simulation. Hand the
+// compilation back with Recycle when done with it.
+func (sh *Shard) CompileSeededAggregate(d Descriptor, seed uint64, epoch time.Duration) (*Compiled, error) {
+	if f, ok := sh.foot[d.Name]; ok {
+		sh.arena.Grow(f)
+	}
+	sp := d.Spec
+	sp.Seed = Seed(seed)
+	sp.RecorderEpoch = epoch
+	return CompileArena(sp, &sh.arena)
+}
+
+// Recycle reclaims a finished compilation's memory — event structs,
+// packets, recorder bins — into the shard and records the footprint
+// under the scenario name (element-wise max across runs, so the sizing
+// converges on the scenario's high-water mark). The compilation is dead
+// afterwards: its simulation and recorders are empty.
+func (sh *Shard) Recycle(name string, c *Compiled) {
+	f := sh.arena.Drain(c.Sim)
+	for _, r := range c.Recorders {
+		sh.arena.DrainRecorder(r)
+	}
+	if old, ok := sh.foot[name]; ok {
+		f = f.Max(old)
+	}
+	sh.foot[name] = f
+}

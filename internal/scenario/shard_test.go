@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"abw/internal/unit"
+)
+
+// aggTruth snapshots an aggregate-mode compilation's observable ground
+// truth over a horizon: per-hop utilization and avail-bw series plus
+// drop counts.
+func aggTruth(t *testing.T, c *Compiled, horizon time.Duration) [][]unit.Rate {
+	t.Helper()
+	c.Sim.RunUntil(horizon)
+	out := make([][]unit.Rate, len(c.Recorders))
+	for h, r := range c.Recorders {
+		out[h] = append([]unit.Rate(nil), r.AvailBwSeries(0, horizon, 100*time.Millisecond)...)
+		out[h] = append(out[h], unit.Rate(r.Drops()))
+	}
+	return out
+}
+
+// TestShardRecycledCompileBitIdentical is the arena safety property:
+// compiling a scenario out of a shard's recycled memory — events,
+// packets, and recorder bins all reclaimed from earlier runs of other
+// scenarios and of itself — must give exactly the ground truth of a
+// cold Compile. Three rounds make the later compiles run entirely on
+// recycled, footprint-sized pools.
+func TestShardRecycledCompileBitIdentical(t *testing.T) {
+	const horizon = 2 * time.Second
+	const epoch = 100 * time.Millisecond
+	names := []string{"canonical", "bursty", "multibottleneck"}
+	sh := NewShard()
+
+	for round := 0; round < 3; round++ {
+		for _, name := range names {
+			d, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("scenario %q not in catalog", name)
+			}
+			warm, err := sh.CompileSeededAggregate(d, 1, epoch)
+			if err != nil {
+				t.Fatalf("round %d %s: shard compile: %v", round, name, err)
+			}
+			cold, err := d.CompileSeededAggregate(1, epoch)
+			if err != nil {
+				t.Fatalf("round %d %s: cold compile: %v", round, name, err)
+			}
+			got := aggTruth(t, warm, horizon)
+			want := aggTruth(t, cold, horizon)
+			for h := range want {
+				if len(got[h]) != len(want[h]) {
+					t.Fatalf("round %d %s hop %d: %d shard samples vs %d cold",
+						round, name, h, len(got[h]), len(want[h]))
+				}
+				for i := range want[h] {
+					if got[h][i] != want[h][i] {
+						t.Fatalf("round %d %s hop %d sample %d: shard %v != cold %v",
+							round, name, h, i, got[h][i], want[h][i])
+					}
+				}
+			}
+			sh.Recycle(name, warm)
+		}
+	}
+
+	// After a recycle the footprints must be recorded, and a fresh
+	// compile must still work with a grown arena.
+	for _, name := range names {
+		f, ok := sh.foot[name]
+		if !ok {
+			t.Fatalf("no footprint recorded for %s", name)
+		}
+		if f.Events == 0 {
+			t.Errorf("%s footprint has no events: %+v", name, f)
+		}
+	}
+}

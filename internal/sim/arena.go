@@ -1,0 +1,126 @@
+package sim
+
+import "abw/internal/eventq"
+
+// Footprint is the pooled-object census of one finished simulation:
+// how many event structs and packets its free lists held at the end.
+// Arena owners record it per scenario and Grow the arena to match
+// before the next compile of the same scenario, so steady-state reuse
+// never warms pools from cold.
+type Footprint struct {
+	Events  int
+	Packets int
+}
+
+// Max returns the element-wise maximum of two footprints — the sizing
+// that satisfies both runs.
+func (f Footprint) Max(o Footprint) Footprint {
+	if o.Events > f.Events {
+		f.Events = o.Events
+	}
+	if o.Packets > f.Packets {
+		f.Packets = o.Packets
+	}
+	return f
+}
+
+// Arena owns simulation memory across runs: event structs, packets,
+// and aggregate-recorder bin storage reclaimed from finished
+// simulations and handed to fresh ones. One arena belongs to exactly
+// one goroutine (a runner shard); nothing here is synchronized.
+//
+// Ownership rules:
+//   - Prime/PrimeRecorder move storage arena → simulation; Drain/
+//     DrainRecorder move it back. A simulation drained back into the
+//     arena must be idle and is dead afterwards — its queue and pools
+//     are empty.
+//   - Priming only seeds free lists and pre-allocated (zero-length)
+//     bin storage; it never changes scheduling order, packet contents,
+//     or recorded values. A primed run is bit-identical to a cold run.
+type Arena struct {
+	events  []*eventq.Event
+	packets []*Packet
+	bins    [][]epochBin
+}
+
+// Grow expands the arena's pools to at least the given footprint,
+// allocating each shortfall as one contiguous block.
+func (a *Arena) Grow(f Footprint) {
+	if d := f.Events - len(a.events); d > 0 {
+		a.events = append(a.events, eventq.NewPool(d)...)
+	}
+	if d := f.Packets - len(a.packets); d > 0 {
+		block := make([]Packet, d)
+		for i := range block {
+			a.packets = append(a.packets, &block[i])
+		}
+	}
+}
+
+// Prime hands the arena's event and packet pools to a fresh simulation.
+// Call it before any scheduling; the arena's pools are empty afterwards
+// until the next Drain. The slices move by ownership transfer — a
+// steady-state Drain/Grow/Prime cycle passes the same backing arrays
+// back and forth without copying. Unpooled simulations take nothing and
+// the arena keeps its pools.
+func (a *Arena) Prime(s *Sim) {
+	if s.noPool {
+		return
+	}
+	s.q.Prime(a.events)
+	a.events = nil
+	if len(s.pktFree) == 0 {
+		s.pktFree = a.packets
+	} else {
+		s.pktFree = append(s.pktFree, a.packets...)
+	}
+	a.packets = nil
+}
+
+// Drain reclaims a finished simulation's event and packet pools into
+// the arena and returns their footprint. The simulation must be idle
+// (no event mid-fire); it is logically empty afterwards. Packets still
+// in flight at the horizon are not recovered — only the free list
+// moves — so the footprint reflects what the next run can actually
+// reuse.
+func (a *Arena) Drain(s *Sim) Footprint {
+	e0, p0 := len(a.events), len(a.packets)
+	a.events = s.q.Reclaim(a.events)
+	if len(a.packets) == 0 {
+		a.packets, s.pktFree = s.pktFree, a.packets[:0]
+	} else {
+		a.packets = append(a.packets, s.pktFree...)
+		for i := range s.pktFree {
+			s.pktFree[i] = nil
+		}
+		s.pktFree = s.pktFree[:0]
+	}
+	return Footprint{Events: len(a.events) - e0, Packets: len(a.packets) - p0}
+}
+
+// PrimeRecorder hands one reclaimed bin array to an aggregate-mode
+// recorder that has not started recording. Full-mode recorders and
+// recorders already holding bins are left alone.
+func (a *Arena) PrimeRecorder(r *Recorder) {
+	if r.epoch <= 0 || r.bins != nil || len(a.bins) == 0 {
+		return
+	}
+	n := len(a.bins) - 1
+	r.bins = a.bins[n]
+	a.bins[n] = nil
+	a.bins = a.bins[:n]
+}
+
+// DrainRecorder reclaims an aggregate recorder's bin storage into the
+// arena. The recorder is reset: its recorded history is gone.
+func (a *Arena) DrainRecorder(r *Recorder) {
+	if r.epoch > 0 && cap(r.bins) > 0 {
+		a.bins = append(a.bins, r.bins[:0])
+	}
+	r.bins = nil
+	r.arrivals = nil
+	r.busy = nil
+	r.cum = nil
+	r.cumCap = nil
+	r.drops = 0
+}

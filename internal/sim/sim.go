@@ -115,17 +115,22 @@ func (s *Sim) Run() {
 // t. Events scheduled beyond t stay pending, so simulations can be
 // advanced in measured slices. A pending Stop makes it return
 // immediately, clock untouched.
+//
+// The loop uses the queue's bounded PopUntil rather than Peek-then-Pop:
+// a Peek would advance the wheel cursor to the next pending event even
+// when that event (a retransmit timer, a trace-tile boundary) lies far
+// past t, and everything scheduled afterwards in (t, event) would fall
+// behind the cursor into the queue's slow overdue path.
 func (s *Sim) RunUntil(t time.Duration) {
 	if s.stopped {
 		s.stopped = false
 		return
 	}
 	for !s.stopped {
-		e := s.q.Peek()
-		if e == nil || e.At > t {
+		e := s.q.PopUntil(t)
+		if e == nil {
 			break
 		}
-		s.q.Pop()
 		s.now = e.At
 		e.Call()
 		s.q.Release(e)

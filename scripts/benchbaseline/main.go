@@ -17,7 +17,12 @@
 //
 // The threshold is deliberately coarse (10x): single-iteration numbers
 // on shared CI hardware are noisy, but an order of magnitude is a real
-// regression, not noise.
+// regression, not noise. -benchtime passes through to `go test` for
+// steadier numbers on sub-µs benchmarks (1x remains the default), and
+// -budget asserts absolute wall-clock ceilings on named benchmarks:
+//
+//	go run ./scripts/benchbaseline -benchtime 10ms -out BENCH_4.json
+//	go run ./scripts/benchbaseline -budget 'BenchmarkMatrix=600ms'
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // regressionFactor is the ns/op ratio over the baseline that fails a
@@ -62,14 +68,16 @@ type Baseline struct {
 func main() {
 	out := flag.String("out", "", "output file (default BENCH_1.json, the living baseline; with -compare, omit to skip writing)")
 	compare := flag.String("compare", "", "comma-separated committed baseline(s) to compare against; exits 1 on order-of-magnitude regressions")
+	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime; raise it (e.g. 10ms) for steadier sub-µs numbers")
+	budget := flag.String("budget", "", "comma-separated absolute ceilings, e.g. 'BenchmarkMatrix=600ms'; exits 1 when a named benchmark exceeds its duration")
 	flag.Parse()
-	if *out == "" && *compare == "" {
+	if *out == "" && *compare == "" && *budget == "" {
 		// BENCH_0.json is the immutable seed-era trajectory point; the
 		// default regenerates the living baseline, never the history.
 		*out = "BENCH_1.json"
 	}
 
-	args := []string{"test", "-bench", ".", "-benchtime", "1x", "-run", "^$", "./..."}
+	args := []string{"test", "-bench", ".", "-benchtime", *benchtime, "-run", "^$", "./..."}
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
@@ -86,8 +94,8 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
-		Note: "single-iteration smoke numbers: good for spotting order-of-magnitude " +
-			"regressions and keeping benchmarks compiling, not for micro-comparisons",
+		Note: fmt.Sprintf("recorded at -benchtime %s: good for spotting order-of-magnitude "+
+			"regressions and keeping benchmarks compiling, not for micro-comparisons", *benchtime),
 		Benchmarks: parse(&buf),
 	}
 	if *out != "" {
@@ -113,6 +121,56 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *budget != "" && !checkBudgets(*budget, base.Benchmarks) {
+		os.Exit(1)
+	}
+}
+
+// checkBudgets enforces absolute per-iteration ceilings on named
+// benchmarks ("Name=duration", comma-separated). Unlike the relative
+// -compare gate, a budget is a commitment: the named benchmark must
+// exist in the fresh run and come in under its ceiling.
+func checkBudgets(spec string, fresh []Benchmark) bool {
+	ok := true
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, limit, found := strings.Cut(entry, "=")
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchbaseline: bad -budget entry %q (want Name=duration)\n", entry)
+			ok = false
+			continue
+		}
+		max, err := time.ParseDuration(limit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchbaseline: bad -budget duration %q: %v\n", limit, err)
+			ok = false
+			continue
+		}
+		matched := false
+		for _, b := range fresh {
+			if b.Name != name {
+				continue
+			}
+			matched = true
+			got := time.Duration(b.NsPerOp)
+			if got > max {
+				ok = false
+				fmt.Fprintf(os.Stderr, "benchbaseline: BUDGET EXCEEDED %s.%s: %v per op, budget %v\n",
+					b.Package, b.Name, got.Round(time.Millisecond), max)
+			} else {
+				fmt.Printf("benchbaseline: %s.%s within budget: %v <= %v\n",
+					b.Package, b.Name, got.Round(time.Millisecond), max)
+			}
+		}
+		if !matched {
+			ok = false
+			fmt.Fprintf(os.Stderr, "benchbaseline: -budget %s: no such benchmark in the fresh run\n", name)
+		}
+	}
+	return ok
 }
 
 // compareAgainst checks the fresh results against the stored baseline,

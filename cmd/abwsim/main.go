@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		which      = flag.String("exp", "", "experiment: fig1..fig7, table1, latency, narrowtight, matrix, all")
+		which      = flag.String("exp", "", "experiment: fig1..fig7, table1, latency, narrowtight, matrix, dataset, learnedeval, all")
 		only       = flag.String("only", "", "run only this comma-separated subset; with -md, the rest load from the -json dir (see -list for names)")
 		list       = flag.Bool("list", false, "list experiments and the misconception catalog")
 		quick      = flag.Bool("quick", false, "reduced trial counts (~10x faster)")
@@ -49,6 +49,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "trial-engine workers (0 = one per CPU)")
 		progress   = flag.Bool("progress", false, "print per-trial progress to stderr")
 		jsonDir    = flag.String("json", "", "directory for one structured JSON result per experiment")
+		csvPath    = flag.String("csv", "", "with -exp dataset: write the generated rows as CSV here")
 		mdPath     = flag.String("md", "", "write the paper-vs-measured markdown doc (EXPERIMENTS.md) here")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after all experiments) to this file")
@@ -139,6 +140,12 @@ func main() {
 			Table:     tab,
 		}
 		results = append(results, res)
+		if ds, ok := payload.(*exp.DatasetResult); ok && *csvPath != "" {
+			if err := writeDatasetCSV(*csvPath, ds); err != nil {
+				fmt.Fprintf(os.Stderr, "abwsim: -csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if *jsonDir != "" {
 			if _, err := res.WriteJSON(*jsonDir); err != nil {
 				fmt.Fprintf(os.Stderr, "abwsim: %s: %v\n", name, err)
@@ -160,6 +167,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeDatasetCSV dumps the dataset experiment's rows — the training
+// input of scripts/trainlearned — in its deterministic CSV form.
+func writeDatasetCSV(path string, ds *exp.DatasetResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // mergeStored fills the catalog-ordered result list for -md when only
@@ -313,6 +334,23 @@ var catalog = []experiment{
 	{"matrix", "every registered tool against every cataloged scenario",
 		func(quick bool, seed uint64) (tabler, error) {
 			return exp.Matrix(exp.MatrixConfig{Quick: quick, Seed: seed})
+		}},
+	{"dataset", "probe-feature rows swept over catalog × cross-traffic scalings × seeds",
+		func(quick bool, seed uint64) (tabler, error) {
+			cfg := exp.DatasetConfig{Seed: seed}
+			if quick {
+				cfg.Scalings = []float64{1.0}
+				cfg.Trials = 1
+			}
+			return exp.Dataset(cfg)
+		}},
+	{"learnedeval", "learned estimator vs best classical tool on held-out configurations",
+		func(quick bool, seed uint64) (tabler, error) {
+			cfg := exp.LearnedEvalConfig{Quick: quick, Seed: seed}
+			if quick {
+				cfg.Dataset = exp.DatasetConfig{Scalings: []float64{1.0}, Trials: 2}
+			}
+			return exp.LearnedEval(cfg)
 		}},
 }
 

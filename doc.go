@@ -2,7 +2,8 @@
 // Available Bandwidth Estimation" (Jain & Dovrolis, IMC 2004) as a Go
 // library: a discrete-event network simulator, the paper's cross-traffic
 // models and trace substrate, the seven estimation tools it classifies
-// (Delphi, TOPP, Pathload, pathChirp, IGI/PTR, Spruce, BFind), a
+// (Delphi, TOPP, Pathload, pathChirp, IGI/PTR, Spruce, BFind) plus a
+// learned eighth estimator trained on their shared probe features, a
 // packet-level TCP Reno, a live UDP probing transport, and one
 // experiment per table and figure in the paper, all running their
 // trials on a parallel, deterministic trial engine (internal/runner).

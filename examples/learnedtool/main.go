@@ -1,0 +1,75 @@
+// Learnedtool: the eighth estimator end to end — run the committed
+// learned model as a registered tool, then peel the abstraction open:
+// extract the canonical feature vector from a probing stream, build a
+// model input by hand, and query the weights directly. This is the
+// whole pipeline DESIGN.md's "feature pipeline & learned estimator"
+// section describes, driven through the public facade.
+//
+//	go run ./examples/learnedtool
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"abw"
+)
+
+const (
+	capacity  = 50 * abw.Mbps
+	crossRate = 30 * abw.Mbps // true avail-bw: 20 Mbps
+)
+
+func scenario() abw.Transport {
+	sc, err := abw.NewScenario(abw.ScenarioSpec{
+		Horizon: 10 * time.Minute,
+		Seed:    abw.Seed(7),
+		Hops: []abw.Hop{{
+			Capacity: capacity,
+			Traffic:  []abw.Source{{Kind: abw.Poisson, Rate: crossRate}},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sc.Transport
+}
+
+func main() {
+	// 1. The learned model as a plain registered tool: same Params, same
+	// Report as the seven classical techniques.
+	rep, err := abw.Estimate(context.Background(), "learned", abw.Params{Capacity: capacity}, scenario())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("true avail-bw: 20.0 Mbps (50 Mbps link, 30 Mbps Poisson cross traffic)")
+	fmt.Printf("learned tool:  %.1f Mbps  [%.1f, %.1f]  (%d streams, %d packets)\n\n",
+		rep.Point.MbpsOf(), rep.Low.MbpsOf(), rep.High.MbpsOf(), rep.Streams, rep.Packets)
+
+	// 2. The same pipeline by hand: probe one stream, extract the
+	// canonical features, assemble the model input, query the weights.
+	w, err := abw.DefaultLearnedWeights()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed weights: %d model inputs, %d k-NN memory rows, plan %v\n",
+		len(abw.LearnedModelInputNames()), len(w.KNN.X), w.Plan.RateFracs)
+
+	t := scenario()
+	for _, frac := range w.Plan.RateFracs {
+		spec := abw.PeriodicProbe(abw.Rate(float64(capacity)*frac), w.Plan.PktSize, w.Plan.StreamLen)
+		rec, err := abw.Probe(context.Background(), t, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := abw.ExtractFeatures(rec)
+		pred, err := w.Predict(abw.LearnedModelInput(f, frac, capacity.MbpsOf()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  probe at %.0f%% of C: gap ratio %.3f, trend PCT %.2f  →  predicted A/C %.3f (%.1f Mbps)\n",
+			frac*100, f.GapRatio, f.TrendPCT, pred, pred*capacity.MbpsOf())
+	}
+}

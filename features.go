@@ -1,0 +1,84 @@
+package abw
+
+// This file extends the facade with the probe-feature layer and the
+// learned estimator's model types: enough surface to extract the
+// canonical feature vector from external measurements, evaluate the
+// committed weights, or train replacement weights from custom data —
+// without importing internal/.
+
+import (
+	"context"
+
+	"abw/internal/core"
+	"abw/internal/probe"
+	"abw/internal/tools/learned"
+)
+
+// Probe-feature layer: the deterministic reduction of a probing stream
+// that all tools (and the learned model) share.
+type (
+	// ProbeSpec describes one probing stream (rate, packet size, count).
+	ProbeSpec = probe.StreamSpec
+	// ProbeRecord is a delivered stream: send and receive timestamps.
+	ProbeRecord = probe.Record
+	// FeatureVector is the canonical per-stream feature reduction.
+	FeatureVector = probe.FeatureVector
+)
+
+// PeriodicProbe describes a constant-rate probing stream.
+func PeriodicProbe(rate Rate, pktSize Bytes, count int) ProbeSpec {
+	return probe.Periodic(rate, pktSize, count)
+}
+
+// Probe sends one probing stream over the transport and returns the
+// delivered record, honoring ctx cancellation.
+func Probe(ctx context.Context, t Transport, spec ProbeSpec) (*ProbeRecord, error) {
+	return core.Probe(ctx, t, spec)
+}
+
+// ExtractFeatures reduces a delivered probing stream to the canonical
+// feature vector. It never panics and never produces NaN or Inf, no
+// matter how degenerate the record (all packets lost, duplicate
+// timestamps, single packet).
+func ExtractFeatures(r *ProbeRecord) FeatureVector { return probe.ExtractFeatures(r) }
+
+// FeatureNames returns the feature column names in Values order.
+func FeatureNames() []string { return probe.FeatureNames() }
+
+// Learned-estimator model layer.
+type (
+	// LearnedWeights is the serialized ridge + k-NN model the learned
+	// tool runs; ParseLearnedWeights reads one, LearnedTrain fits one.
+	LearnedWeights = learned.Weights
+	// LearnedTrainConfig tunes LearnedTrain.
+	LearnedTrainConfig = learned.TrainConfig
+	// ProbePlan is the probing schedule shared by dataset generation
+	// and the online learned estimator.
+	ProbePlan = learned.ProbePlan
+)
+
+// DefaultLearnedWeights returns the committed embedded weights.
+func DefaultLearnedWeights() (*LearnedWeights, error) { return learned.Default() }
+
+// ParseLearnedWeights decodes and validates a weight file.
+func ParseLearnedWeights(data []byte) (*LearnedWeights, error) { return learned.Parse(data) }
+
+// LearnedTrain fits the ridge + k-NN model on raw model inputs (built
+// with LearnedModelInput) and targets A/C. Deterministic: same inputs,
+// same weights.
+func LearnedTrain(X [][]float64, y []float64, cfg LearnedTrainConfig) (*LearnedWeights, error) {
+	return learned.Train(X, y, cfg)
+}
+
+// LearnedModelInput assembles one model input from a stream's feature
+// vector, its probing rate as a fraction of the tight-link capacity,
+// and the capacity in Mbps — the exact vector the learned tool builds
+// online.
+func LearnedModelInput(f FeatureVector, rateFrac, capacityMbps float64) []float64 {
+	return learned.ModelInput(f, rateFrac, capacityMbps)
+}
+
+// LearnedModelInputNames returns the model input column names.
+func LearnedModelInputNames() []string {
+	return learned.ModelInputNames(probe.FeatureNames())
+}

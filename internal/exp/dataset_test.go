@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"abw/internal/runner"
+	"abw/internal/tools/learned"
+)
+
+// smallDataset is the cheap sweep the tests share: two scenarios, two
+// scalings, two trials, short streams.
+func smallDataset(seed uint64) DatasetConfig {
+	return DatasetConfig{
+		Scenarios: []string{"canonical", "bursty"},
+		Scalings:  []float64{0.5, 1.0},
+		Trials:    2,
+		Plan: learned.ProbePlan{
+			RateFracs:      []float64{0.5, 0.9},
+			StreamLen:      20,
+			PktSize:        1000,
+			StreamsPerFrac: 1,
+		},
+		Seed: seed,
+	}
+}
+
+func TestDatasetSmoke(t *testing.T) {
+	res, err := Dataset(smallDataset(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 scenarios × 2 scalings × 2 trials × 2 fracs × 1 stream.
+	if want := 16; len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	wantCols := len(CSVHeader())
+	for i, r := range res.Rows {
+		if r.Split != "train" && r.Split != "test" {
+			t.Errorf("row %d: split %q", i, r.Split)
+		}
+		if r.CapacityMbps <= 0 {
+			t.Errorf("row %d: capacity %g", i, r.CapacityMbps)
+		}
+		if r.Target < 0 || r.Target > 1 {
+			t.Errorf("row %d: target %g outside [0, 1]", i, r.Target)
+		}
+		if got := 9 + len(r.ModelInput()); got != wantCols {
+			t.Errorf("row %d: %d CSV fields, header has %d", i, got, wantCols)
+		}
+	}
+	// Every (scenario, scaling) cell must keep at least one test trial.
+	cells := map[string]bool{}
+	for _, r := range res.Rows {
+		if r.Split == "test" {
+			cells[r.Scenario+"@"+f2(r.Scaling)] = true
+		}
+	}
+	if len(cells) != 4 {
+		t.Errorf("stratified split left %d of 4 cells with a test trial", len(cells))
+	}
+	if res.Table() == nil {
+		t.Error("nil table")
+	}
+}
+
+// TestDatasetScalingMovesGroundTruth pins what the scalings are for:
+// heavier cross traffic must not raise the scenario's avail-bw.
+func TestDatasetScalingMovesGroundTruth(t *testing.T) {
+	res, err := Dataset(smallDataset(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[string]map[float64]float64{}
+	for _, r := range res.Rows {
+		if truth[r.Scenario] == nil {
+			truth[r.Scenario] = map[float64]float64{}
+		}
+		truth[r.Scenario][r.Scaling] = r.TrueAvailBwMbps
+	}
+	for scen, byScale := range truth {
+		if byScale[1.0] > byScale[0.5] {
+			t.Errorf("%s: avail-bw rose from %g to %g Mbps as cross traffic scaled 0.5 → 1.0",
+				scen, byScale[0.5], byScale[1.0])
+		}
+	}
+}
+
+// TestDatasetDeterministicCSV is the determinism contract on the
+// dataset: same seed → byte-identical CSV at any worker count.
+func TestDatasetDeterministicCSV(t *testing.T) {
+	defer runner.SetWorkers(0)
+	render := func(workers int) []byte {
+		runner.SetWorkers(workers)
+		res, err := Dataset(smallDataset(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 8} {
+		if !bytes.Equal(serial, render(workers)) {
+			t.Errorf("CSV differs between -parallel 1 and -parallel %d", workers)
+		}
+	}
+	if lines := bytes.Count(serial, []byte("\n")); lines != 17 {
+		t.Errorf("CSV has %d lines, want 17 (header + 16 rows)", lines)
+	}
+}
+
+func TestDatasetWriteJSON(t *testing.T) {
+	res, err := Dataset(smallDataset(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string            `json:"schema"`
+		Plan    learned.ProbePlan `json:"plan"`
+		Columns []string          `json:"input_columns"`
+		Rows    []json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "abw-dataset/1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Rows) != len(res.Rows) {
+		t.Errorf("JSON has %d rows, want %d", len(doc.Rows), len(res.Rows))
+	}
+	if len(doc.Columns) != len(ModelInputNames()) {
+		t.Errorf("JSON has %d input columns, want %d", len(doc.Columns), len(ModelInputNames()))
+	}
+}
+
+func TestDatasetRejectsBadConfig(t *testing.T) {
+	if _, err := Dataset(DatasetConfig{Scenarios: []string{"no-such-scenario"}}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := Dataset(DatasetConfig{Scalings: []float64{-1}}); err == nil {
+		t.Error("negative scaling accepted")
+	}
+}
+
+func TestModelInputNamesMatchHeader(t *testing.T) {
+	head := CSVHeader()
+	names := ModelInputNames()
+	if got := head[len(head)-len(names):]; strings.Join(got, ",") != strings.Join(names, ",") {
+		t.Errorf("CSV header tail %v != model input names %v", got, names)
+	}
+	derived := []string{"rate_frac", "log10_capacity", "direct_abw"}
+	if got := strings.Join(names[len(names)-3:], ","); got != strings.Join(derived, ",") {
+		t.Errorf("input columns must end %v; got %v", derived, names[len(names)-3:])
+	}
+}
+
+func BenchmarkDataset(b *testing.B) {
+	cfg := smallDataset(1)
+	cfg.Scenarios = []string{"canonical"}
+	cfg.Scalings = []float64{1.0}
+	cfg.Trials = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dataset(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -167,6 +167,13 @@ func Matrix(cfg MatrixConfig) (*MatrixResult, error) {
 		if c.Quick {
 			params.Repeat = 6
 			params.MaxRounds = 6
+			if tool == "learned" {
+				// Repeat maps onto streams-per-rate-fraction for the
+				// learned tool, where 6 would *raise* effort above its
+				// plan default of 4; 2 keeps quick a reduced-effort
+				// pass there too (8 streams instead of 16).
+				params.Repeat = 2
+			}
 		}
 		rep, err := registry.Estimate(context.Background(), tool, params, cpl.Transport)
 		sh.Recycle(d.Name, cpl)

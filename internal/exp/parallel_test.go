@@ -49,6 +49,9 @@ func TestParallelDeterminism(t *testing.T) {
 			Seed:      7,
 		})
 	}
+	dataset := func() (any, error) {
+		return Dataset(smallDataset(7))
+	}
 	cases := []struct {
 		name string
 		run  func() (any, error)
@@ -58,6 +61,7 @@ func TestParallelDeterminism(t *testing.T) {
 		{"Figure3", fig3},
 		{"LatencyAccuracy", latency},
 		{"Matrix", matrix},
+		{"Dataset", dataset},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

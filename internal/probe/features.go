@@ -1,0 +1,288 @@
+package probe
+
+import (
+	"math"
+	"time"
+
+	"abw/internal/stats"
+	"abw/internal/unit"
+)
+
+// This file is the one place probe-stream timing signatures become
+// numbers. Every estimator used to carry a private copy of some slice
+// of this arithmetic (IGI's gap averaging, Spruce's pair-gap model,
+// TOPP's per-rate gap sums, Pathload's OWD conversion, pathChirp's
+// queue-delay series); they now all call these helpers, and the learned
+// eighth tool is trained on exactly the FeatureVector extracted here.
+//
+// Canonical pair-measurability convention (the one convention all
+// tools share — audit note for the historical drift): pair (k, k+1) is
+// measurable iff BOTH packets were received AND the receiver-side gap
+// is strictly positive. A zero or negative output gap (duplicate or
+// reordered receive timestamps) is discarded exactly like a loss, never
+// clamped, because the gap models divide by it. The send-side gap is
+// reported as recorded even for unmeasurable pairs.
+
+// PairGaps returns the send-side and receive-side spacings of pair
+// (k, k+1). ok follows the canonical measurability convention above;
+// gout is 0 when the pair is not measurable.
+func (r *Record) PairGaps(k int) (gin, gout time.Duration, ok bool) {
+	if k < 0 || k+1 >= len(r.Sent) || k+1 >= len(r.Recv) {
+		return 0, 0, false
+	}
+	gin = r.Sent[k+1] - r.Sent[k]
+	a, b := r.Recv[k], r.Recv[k+1]
+	if a == Lost || b == Lost || b-a <= 0 {
+		return gin, 0, false
+	}
+	return gin, b - a, true
+}
+
+// MeanOutputGap returns the mean receiver-side spacing over measurable
+// pairs — IGI's average output gap — or 0 when no pair is measurable.
+// The integer division mirrors the gap model's time.Duration algebra.
+func (r *Record) MeanOutputGap() time.Duration {
+	var sum time.Duration
+	n := 0
+	for k := 0; k+1 < len(r.Recv); k++ {
+		_, gout, ok := r.PairGaps(k)
+		if !ok {
+			continue
+		}
+		sum += gout
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// OWDSeconds returns the one-way delays of received packets in seconds,
+// in packet order — Pathload's trend-test input.
+func (r *Record) OWDSeconds() []float64 {
+	owds := r.OWDs()
+	out := make([]float64, len(owds))
+	for i, d := range owds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// QueueDelaysSeconds returns per-packet queueing delays in seconds:
+// each received packet's OWD minus the stream's minimum OWD, in packet
+// order — pathChirp's excursion signal. Nil when nothing arrived.
+func (r *Record) QueueDelaysSeconds() []float64 {
+	owds := r.OWDs()
+	if len(owds) == 0 {
+		return nil
+	}
+	min := owds[0]
+	for _, d := range owds[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	out := make([]float64, len(owds))
+	for i, d := range owds {
+		out[i] = (d - min).Seconds()
+	}
+	return out
+}
+
+// PairGapAvailBw maps one measured pair through the gap model
+// A = C·(1 − (gout − gin)/gin), clamped to [0, C] — Spruce's per-pair
+// sample. gin is the constructed input spacing (the model's Δin), not
+// necessarily the measured one.
+func PairGapAvailBw(capacity unit.Rate, gin, gout time.Duration) unit.Rate {
+	a := float64(capacity) * (1 - float64(gout-gin)/float64(gin))
+	if a < 0 {
+		a = 0
+	}
+	if a > float64(capacity) {
+		a = float64(capacity)
+	}
+	return unit.Rate(a)
+}
+
+// ClampToCapacity bounds an estimate to the physically meaningful
+// range [0, capacity] — the final step every rate-model tool applies.
+func ClampToCapacity(a, capacity unit.Rate) unit.Rate {
+	if a < 0 {
+		return 0
+	}
+	if a > capacity {
+		return capacity
+	}
+	return a
+}
+
+// AbsDeltas returns |xs[i+1] − xs[i]|, the successive absolute
+// differences pathChirp's jitter threshold is the median of. Nil for
+// fewer than two values.
+func AbsDeltas(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		d := xs[i] - xs[i-1]
+		if d < 0 {
+			d = -d
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// FeatureVector is the canonical per-stream summary of a probe record:
+// every timing signature the seven classical tools consume, reduced to
+// dimensionless numbers. Gap features are normalized by the mean input
+// gap and rate features by ratios, so vectors are comparable across
+// capacities and packet sizes. Degenerate records (all packets lost,
+// single packet, no measurable pair) yield zero values with the
+// corresponding Has* flag false — never NaN, never a panic.
+type FeatureVector struct {
+	HasGaps  bool // gap features valid (≥1 measurable pair, positive mean input gap)
+	HasTrend bool // trend features valid (≥4 received packets)
+	HasRates bool // rate features valid (measurable input and output rates)
+
+	LossFrac   float64 // lost packets / packets sent
+	PairFrac   float64 // measurable pairs / total adjacent pairs
+	GapRatio   float64 // mean output gap / mean input gap over measurable pairs
+	GapCV      float64 // coefficient of variation of output gaps
+	GapQ10     float64 // 10th-percentile output gap / mean input gap
+	GapQ50     float64 // median output gap / mean input gap
+	GapQ90     float64 // 90th-percentile output gap / mean input gap
+	TrendPCT   float64 // pairwise-comparison trend statistic of OWDs
+	TrendPDT   float64 // pairwise-difference trend statistic of OWDs
+	OWDSlope   float64 // queue-delay slope per packet / mean input gap
+	QueueMean  float64 // mean queueing delay / mean input gap
+	RateRatio  float64 // Ro/Ri over the whole stream
+	ExpandFrac float64 // fraction of measurable pairs with gout > gin
+	ExpandRun  float64 // longest run of consecutive expanded pairs / total pairs
+}
+
+// FeatureNames returns the column names of Values, in order. The first
+// three are the 0/1 validity flags.
+func FeatureNames() []string {
+	return []string{
+		"has_gaps", "has_trend", "has_rates",
+		"loss_frac", "pair_frac", "gap_ratio", "gap_cv",
+		"gap_q10", "gap_q50", "gap_q90",
+		"trend_pct", "trend_pdt", "owd_slope", "queue_mean",
+		"rate_ratio", "expand_frac", "expand_run",
+	}
+}
+
+// Values flattens the vector in FeatureNames order, flags as 0/1.
+func (f FeatureVector) Values() []float64 {
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return []float64{
+		b(f.HasGaps), b(f.HasTrend), b(f.HasRates),
+		f.LossFrac, f.PairFrac, f.GapRatio, f.GapCV,
+		f.GapQ10, f.GapQ50, f.GapQ90,
+		f.TrendPCT, f.TrendPDT, f.OWDSlope, f.QueueMean,
+		f.RateRatio, f.ExpandFrac, f.ExpandRun,
+	}
+}
+
+// ExtractFeatures reduces one probe record to its FeatureVector. The
+// extraction is a pure function of the record: no randomness, no
+// global state, so the same record yields bit-identical features under
+// any pooling or worker configuration.
+func ExtractFeatures(r *Record) FeatureVector {
+	var f FeatureVector
+	n := len(r.Recv)
+	if n > 0 {
+		f.LossFrac = float64(r.LossCount()) / float64(n)
+	}
+
+	// Gap features over measurable pairs.
+	pairs := n - 1
+	var gins, gouts []float64
+	var expanded []bool
+	for k := 0; k+1 < n; k++ {
+		gin, gout, ok := r.PairGaps(k)
+		if !ok {
+			continue
+		}
+		gins = append(gins, gin.Seconds())
+		gouts = append(gouts, gout.Seconds())
+		expanded = append(expanded, gout > gin)
+	}
+	if pairs > 0 {
+		f.PairFrac = float64(len(gouts)) / float64(pairs)
+	}
+	ginMean := 0.0
+	if len(gins) > 0 {
+		ginMean = stats.Mean(gins)
+	}
+	if len(gouts) > 0 && ginMean > 0 {
+		f.HasGaps = true
+		goutMean := stats.Mean(gouts)
+		f.GapRatio = goutMean / ginMean
+		if len(gouts) >= 2 && goutMean > 0 {
+			f.GapCV = stats.StdDev(gouts) / goutMean
+		}
+		cdf := stats.NewCDF(gouts)
+		f.GapQ10 = cdf.Quantile(0.10) / ginMean
+		f.GapQ50 = cdf.Quantile(0.50) / ginMean
+		f.GapQ90 = cdf.Quantile(0.90) / ginMean
+
+		run, best := 0, 0
+		nExp := 0
+		for _, e := range expanded {
+			if e {
+				nExp++
+				run++
+				if run > best {
+					best = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		f.ExpandFrac = float64(nExp) / float64(len(expanded))
+		f.ExpandRun = float64(best) / float64(pairs)
+	}
+
+	// Trend features over the received OWD series.
+	owds := r.OWDSeconds()
+	if len(owds) >= 4 {
+		f.HasTrend = true
+		g := int(math.Sqrt(float64(len(owds))))
+		if g < 2 {
+			g = 2
+		}
+		groups := stats.MedianGroups(owds, g)
+		if pct := stats.PCT(groups); !math.IsNaN(pct) {
+			f.TrendPCT = pct
+		}
+		if pdt := stats.PDT(groups); !math.IsNaN(pdt) {
+			f.TrendPDT = pdt
+		}
+	}
+	if q := r.QueueDelaysSeconds(); len(q) >= 2 && ginMean > 0 {
+		idx := make([]float64, len(q))
+		for i := range idx {
+			idx[i] = float64(i)
+		}
+		if _, slope, _, err := stats.LinearFit(idx, q); err == nil {
+			f.OWDSlope = slope / ginMean
+		}
+		f.QueueMean = stats.Mean(q) / ginMean
+	}
+
+	// Whole-stream rate features.
+	if ratio := r.Ratio(); ratio > 0 {
+		f.HasRates = true
+		f.RateRatio = ratio
+	}
+	return f
+}

@@ -1,0 +1,221 @@
+package probe
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"abw/internal/unit"
+)
+
+// rec builds a hand-made record: sent timestamps at a fixed gap, recv
+// timestamps as given (Lost entries mark drops).
+func rec(gap time.Duration, recv []time.Duration) *Record {
+	spec := StreamSpec{PktSize: 1000, Count: len(recv), Gaps: fixedGaps(gap, len(recv)-1)}
+	r := NewRecord(spec)
+	for i := range recv {
+		r.Sent[i] = time.Duration(i) * gap
+		r.Recv[i] = recv[i]
+	}
+	return r
+}
+
+func fixedGaps(g time.Duration, n int) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = g
+	}
+	return out
+}
+
+func ms(xs ...float64) []time.Duration {
+	out := make([]time.Duration, len(xs))
+	for i, x := range xs {
+		if x < 0 {
+			out[i] = Lost
+		} else {
+			out[i] = time.Duration(x * float64(time.Millisecond))
+		}
+	}
+	return out
+}
+
+func TestPairGapsConvention(t *testing.T) {
+	r := rec(time.Millisecond, ms(5, 6.5, 6.5, 6.2, -1, 9))
+	cases := []struct {
+		k        int
+		wantGout time.Duration
+		wantOK   bool
+	}{
+		{0, 1500 * time.Microsecond, true}, // expanded pair
+		{1, 0, false},                      // duplicate recv timestamp: gout == 0
+		{2, 0, false},                      // reordered: gout < 0
+		{3, 0, false},                      // second packet lost
+		{4, 0, false},                      // first packet lost
+		{5, 0, false},                      // out of range
+		{-1, 0, false},                     // out of range
+	}
+	for _, tc := range cases {
+		gin, gout, ok := r.PairGaps(tc.k)
+		if ok != tc.wantOK || gout != tc.wantGout {
+			t.Errorf("PairGaps(%d) = (%v, %v, %v), want gout %v ok %v", tc.k, gin, gout, ok, tc.wantGout, tc.wantOK)
+		}
+		if ok && gin != time.Millisecond {
+			t.Errorf("PairGaps(%d) gin = %v, want 1ms", tc.k, gin)
+		}
+	}
+}
+
+func TestMeanOutputGapMatchesManual(t *testing.T) {
+	r := rec(time.Millisecond, ms(5, 6, 8, -1, 12, 12.5))
+	// Measurable pairs: (0,1)=1ms, (1,2)=2ms, (4,5)=0.5ms → integer mean.
+	want := (1*time.Millisecond + 2*time.Millisecond + 500*time.Microsecond) / 3
+	if got := r.MeanOutputGap(); got != want {
+		t.Errorf("MeanOutputGap = %v, want %v", got, want)
+	}
+}
+
+func TestQueueDelaysSeconds(t *testing.T) {
+	r := rec(time.Millisecond, ms(5, 7, -1, 6))
+	q := r.QueueDelaysSeconds()
+	// OWDs: 5ms, 6ms, 3ms → min 3ms → queue delays 2ms, 3ms, 0.
+	want := []float64{0.002, 0.003, 0}
+	if len(q) != len(want) {
+		t.Fatalf("QueueDelaysSeconds len = %d, want %d", len(q), len(want))
+	}
+	for i := range want {
+		if math.Abs(q[i]-want[i]) > 1e-12 {
+			t.Errorf("q[%d] = %g, want %g", i, q[i], want[i])
+		}
+	}
+}
+
+func TestPairGapAvailBwClamps(t *testing.T) {
+	c := 10 * unit.Mbps
+	gin := unit.GapFor(1500, c)
+	if a := PairGapAvailBw(c, gin, gin); a != c {
+		t.Errorf("equal gaps → %v, want full capacity %v", a, c)
+	}
+	if a := PairGapAvailBw(c, gin, 10*gin); a != 0 {
+		t.Errorf("huge expansion → %v, want 0", a)
+	}
+	if a := PairGapAvailBw(c, gin, gin/2); a != c {
+		t.Errorf("compressed gap → %v, want clamp at capacity", a)
+	}
+}
+
+// TestExtractFeaturesEdgeCases: degenerate records must produce tagged,
+// NaN-free defaults and never panic.
+func TestExtractFeaturesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		r    *Record
+	}{
+		{"allLost", rec(time.Millisecond, ms(-1, -1, -1, -1, -1))},
+		{"singlePacket", rec(time.Millisecond, ms(5))},
+		{"emptyRecord", &Record{Spec: StreamSpec{PktSize: 1000}}},
+		{"twoPackets", rec(time.Millisecond, ms(5, 6))},
+		{"duplicateTimestamps", rec(time.Millisecond, ms(5, 5, 5, 5, 5, 5))},
+		{"reordered", rec(time.Millisecond, ms(5, 9, 6, 8, 7, 10))},
+		{"oneSurvivor", rec(time.Millisecond, ms(-1, 5, -1, -1))},
+		{"halfLost", rec(time.Millisecond, ms(5, -1, 6, -1, 7, -1, 8, -1))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := ExtractFeatures(tc.r)
+			for i, v := range f.Values() {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("feature %q = %g; want finite", FeatureNames()[i], v)
+				}
+			}
+		})
+	}
+
+	all := ExtractFeatures(rec(time.Millisecond, ms(-1, -1, -1)))
+	if all.HasGaps || all.HasTrend || all.HasRates {
+		t.Error("all-lost record should have every validity flag false")
+	}
+	if all.LossFrac != 1 {
+		t.Errorf("all-lost LossFrac = %g, want 1", all.LossFrac)
+	}
+	dup := ExtractFeatures(rec(time.Millisecond, ms(5, 5, 5, 5, 5, 5)))
+	if dup.HasGaps {
+		t.Error("duplicate-timestamp record has no measurable pair; HasGaps must be false")
+	}
+	if dup.PairFrac != 0 {
+		t.Errorf("duplicate-timestamp PairFrac = %g, want 0", dup.PairFrac)
+	}
+}
+
+func TestExtractFeaturesTypicalStream(t *testing.T) {
+	// Monotonically growing queueing delay: 5, 5.2, 5.4, ... ms over 20
+	// packets — every gap expanded, strong increasing trend.
+	recv := make([]time.Duration, 20)
+	for i := range recv {
+		recv[i] = time.Duration(i)*time.Millisecond + 5*time.Millisecond + time.Duration(i)*200*time.Microsecond
+	}
+	r := rec(time.Millisecond, recv)
+	f := ExtractFeatures(r)
+	if !f.HasGaps || !f.HasTrend || !f.HasRates {
+		t.Fatalf("all flags should be set: %+v", f)
+	}
+	if f.LossFrac != 0 {
+		t.Errorf("LossFrac = %g, want 0", f.LossFrac)
+	}
+	if f.PairFrac != 1 {
+		t.Errorf("PairFrac = %g, want 1", f.PairFrac)
+	}
+	if f.GapRatio <= 1.1 || f.GapRatio >= 1.3 {
+		t.Errorf("GapRatio = %g, want ≈1.2", f.GapRatio)
+	}
+	if f.TrendPCT != 1 {
+		t.Errorf("TrendPCT = %g, want 1 for a monotone series", f.TrendPCT)
+	}
+	if f.ExpandFrac != 1 || f.ExpandRun != 1 {
+		t.Errorf("ExpandFrac/Run = %g/%g, want 1/1", f.ExpandFrac, f.ExpandRun)
+	}
+	if f.OWDSlope <= 0 {
+		t.Errorf("OWDSlope = %g, want positive", f.OWDSlope)
+	}
+	if f.RateRatio >= 1 {
+		t.Errorf("RateRatio = %g, want < 1 for an expanding stream", f.RateRatio)
+	}
+}
+
+func TestFeatureNamesMatchValues(t *testing.T) {
+	names := FeatureNames()
+	vals := FeatureVector{}.Values()
+	if len(names) != len(vals) {
+		t.Fatalf("FeatureNames has %d entries, Values %d", len(names), len(vals))
+	}
+	f := FeatureVector{HasGaps: true, HasTrend: true, HasRates: true}
+	v := f.Values()
+	if v[0] != 1 || v[1] != 1 || v[2] != 1 {
+		t.Error("validity flags should flatten to leading 1s")
+	}
+}
+
+func TestExtractFeaturesDeterministic(t *testing.T) {
+	r := rec(time.Millisecond, ms(5, 6.5, -1, 6.2, 9, 9.1, 8.9, 12))
+	a := ExtractFeatures(r)
+	b := ExtractFeatures(r)
+	if a != b {
+		t.Errorf("extraction not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkFeatureExtract(b *testing.B) {
+	recv := make([]time.Duration, 100)
+	for i := range recv {
+		jit := time.Duration((i*2654435761)%977) * time.Microsecond / 10
+		recv[i] = time.Duration(i)*time.Millisecond + 5*time.Millisecond + jit
+	}
+	r := rec(time.Millisecond, recv)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractFeatures(r)
+	}
+}

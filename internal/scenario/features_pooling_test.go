@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"abw/internal/core"
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// TestFeaturesBitIdenticalUnderPooling extends the pooling safety
+// property to the probe-feature layer: the canonical FeatureVector of a
+// stream probed through a compiled scenario must be bit-identical
+// whether the simulator reuses event/packet memory or allocates fresh —
+// the feature dataset (and therefore the learned model's training
+// input) cannot depend on a memory optimization.
+func TestFeaturesBitIdenticalUnderPooling(t *testing.T) {
+	for _, name := range []string{"canonical", "bursty", "lossy"} {
+		t.Run(name, func(t *testing.T) {
+			d, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("scenario %q not in catalog", name)
+			}
+			probeOnce := func(pooled bool) []probe.FeatureVector {
+				cpl, err := d.CompileSeeded(1)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				cpl.Sim.SetPooling(pooled)
+				var out []probe.FeatureVector
+				for _, frac := range []float64{0.5, 0.9} {
+					rate := unit.Rate(float64(cpl.Capacity) * frac)
+					rec, err := core.Probe(context.Background(), cpl.Transport, probe.Periodic(rate, 1000, 50))
+					if err != nil {
+						t.Fatalf("probe: %v", err)
+					}
+					out = append(out, probe.ExtractFeatures(rec))
+				}
+				return out
+			}
+			pooled := probeOnce(true)
+			plain := probeOnce(false)
+			if !reflect.DeepEqual(pooled, plain) {
+				t.Errorf("features differ with pooling on/off:\n  pooled: %+v\n  plain:  %+v", pooled, plain)
+			}
+		})
+	}
+}

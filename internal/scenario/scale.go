@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"abw/internal/unit"
+)
+
+// ScaleTraffic returns a deep copy of sp with every traffic source's
+// rate profile multiplied by factor — the cross-traffic sweep knob the
+// dataset experiment turns: the same topology under lighter or heavier
+// load, with the analytic ground truth tracking the scaling through
+// Compile. The LRD model requires its mean rate strictly below the
+// hop capacity, so scaled LRD sources are clamped to 95% of the hop's
+// lowest capacity; other models tolerate overload and are left exact
+// (an overloaded hop is a legitimate zero-avail-bw data point).
+func ScaleTraffic(sp Spec, factor float64) Spec {
+	out := sp
+	out.Hops = make([]Hop, len(sp.Hops))
+	for h, hop := range sp.Hops {
+		cp := hop
+		cp.Traffic = make([]Source, len(hop.Traffic))
+		cp.CapacitySteps = append([]RateStep(nil), hop.CapacitySteps...)
+		for j, src := range hop.Traffic {
+			s := src
+			s.Rate = unit.Rate(float64(src.Rate) * factor)
+			s.Steps = make([]RateStep, len(src.Steps))
+			for i, st := range src.Steps {
+				s.Steps[i] = RateStep{At: st.At, Rate: unit.Rate(float64(st.Rate) * factor)}
+			}
+			if s.Kind == LRD {
+				if cap := hop.minCapacity(); cap > 0 {
+					if limit := unit.Rate(float64(cap) * 0.95); s.Rate > limit {
+						s.Rate = limit
+					}
+				}
+			}
+			cp.Traffic[j] = s
+		}
+		out.Hops[h] = cp
+	}
+	return out
+}
+
+// minCapacity returns the hop's lowest configured capacity: the fixed
+// Capacity, or the minimum over a capacity profile.
+func (h Hop) minCapacity() unit.Rate {
+	if len(h.CapacitySteps) == 0 {
+		return h.Capacity
+	}
+	min := h.CapacitySteps[0].Rate
+	for _, st := range h.CapacitySteps[1:] {
+		if st.Rate < min {
+			min = st.Rate
+		}
+	}
+	return min
+}

@@ -41,6 +41,20 @@ func (sh *Shard) CompileSeededAggregate(d Descriptor, seed uint64, epoch time.Du
 	return CompileArena(sp, &sh.arena)
 }
 
+// CompileSpecAggregate compiles an arbitrary (possibly transformed)
+// spec on the shard's arena under an explicit footprint key — the
+// dataset experiment's entry point, where the spec is a cataloged
+// scenario with scaled cross traffic rather than a catalog Descriptor.
+// Hand the compilation back with Recycle under the same key.
+func (sh *Shard) CompileSpecAggregate(key string, sp Spec, seed uint64, epoch time.Duration) (*Compiled, error) {
+	if f, ok := sh.foot[key]; ok {
+		sh.arena.Grow(f)
+	}
+	sp.Seed = Seed(seed)
+	sp.RecorderEpoch = epoch
+	return CompileArena(sp, &sh.arena)
+}
+
 // Recycle reclaims a finished compilation's memory — event structs,
 // packets, recorder bins — into the shard and records the footprint
 // under the scenario name (element-wise max across runs, so the sizing

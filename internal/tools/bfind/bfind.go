@@ -184,7 +184,7 @@ ramp:
 			}
 			// Sustained rise: the median of the window's probes exceeds
 			// baseline by the threshold.
-			med := stats.NewCDF(delays[h]).Quantile(0.5)
+			med := stats.Median(delays[h])
 			if med-baseline[h] > c.DelayThreshold.Seconds() {
 				saturatedHop = h
 				estimate = rate

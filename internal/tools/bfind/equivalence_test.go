@@ -1,0 +1,33 @@
+package bfind
+
+import (
+	"testing"
+
+	"abw/internal/stats"
+)
+
+// TestMedianEquivalence pins BFind's sustained-rise test onto the
+// canonical stats.Median: for every window the interpolated
+// CDF.Quantile(0.5) it used before and the shared median are
+// bit-identical (nearest-rank interpolation at q=0.5 lands exactly on
+// the mean of the two middle values).
+func TestMedianEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"odd", []float64{0.003, 0.001, 0.002}},
+		{"even", []float64{0.004, 0.001, 0.003, 0.002}},
+		{"one", []float64{0.007}},
+		{"ties", []float64{0.002, 0.002, 0.002}},
+		{"typicalWindow", []float64{0.0051, 0.0049, 0.0072, 0.0050, 0.0063, 0.0048, 0.0055, 0.0049, 0.0061, 0.0052}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := stats.NewCDF(tc.xs).Quantile(0.5)
+			if got := stats.Median(tc.xs); got != want {
+				t.Errorf("stats.Median = %g, CDF.Quantile(0.5) = %g", got, want)
+			}
+		})
+	}
+}

@@ -107,13 +107,7 @@ func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Repor
 		if err != nil {
 			continue
 		}
-		if a < 0 {
-			a = 0
-		}
-		if a > c.Capacity {
-			a = c.Capacity
-		}
-		samples = append(samples, a)
+		samples = append(samples, probe.ClampToCapacity(a, c.Capacity))
 	}
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("delphi: no measurable trains out of %d", c.Trains)

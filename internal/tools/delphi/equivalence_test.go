@@ -1,0 +1,42 @@
+package delphi
+
+import (
+	"testing"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// legacyClamp is the estimate clamp Delphi carried inline before the
+// shared feature layer, kept verbatim as the equivalence reference.
+func legacyClamp(a, capacity unit.Rate) unit.Rate {
+	if a < 0 {
+		a = 0
+	}
+	if a > capacity {
+		a = capacity
+	}
+	return a
+}
+
+// TestClampEquivalence pins the migration onto probe.ClampToCapacity.
+func TestClampEquivalence(t *testing.T) {
+	c := 10 * unit.Mbps
+	cases := []struct {
+		name string
+		a    unit.Rate
+	}{
+		{"negative", -3 * unit.Mbps},
+		{"zero", 0},
+		{"inside", 4 * unit.Mbps},
+		{"atCapacity", c},
+		{"overCapacity", 15 * unit.Mbps},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, want := probe.ClampToCapacity(tc.a, c), legacyClamp(tc.a, c); got != want {
+				t.Errorf("ClampToCapacity(%v) = %v, legacy %v", tc.a, got, want)
+			}
+		})
+	}
+}

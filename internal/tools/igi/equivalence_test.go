@@ -1,0 +1,98 @@
+package igi
+
+import (
+	"testing"
+	"time"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// Legacy private copies of the gap math IGI carried before the shared
+// feature layer, kept verbatim as the equivalence reference.
+
+func legacyAverageOutputGap(rec *probe.Record) time.Duration {
+	var sum time.Duration
+	n := 0
+	for k := 0; k+1 < rec.Spec.Count; k++ {
+		g := rec.Gap(k)
+		if g == probe.Lost || g <= 0 {
+			continue
+		}
+		sum += g
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+func legacyIGIEstimate(rec *probe.Record, capacity unit.Rate, pktSize unit.Bytes) unit.Rate {
+	gb := unit.TxTime(pktSize, capacity)
+	var cross, total time.Duration
+	for k := 0; k+1 < rec.Spec.Count; k++ {
+		gout := rec.Gap(k)
+		if gout == probe.Lost || gout <= 0 {
+			continue
+		}
+		total += gout
+		if gout > gb {
+			cross += gout - gb
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	rc := unit.Rate(float64(capacity) * float64(cross) / float64(total))
+	a := capacity - rc
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
+func gapRecord(recvMs []float64) *probe.Record {
+	n := len(recvMs)
+	r := probe.NewRecord(probe.StreamSpec{PktSize: 750, Count: n})
+	for i := range recvMs {
+		r.Sent[i] = time.Duration(i) * time.Millisecond
+		if recvMs[i] < 0 {
+			r.Recv[i] = probe.Lost
+		} else {
+			r.Recv[i] = time.Duration(recvMs[i] * float64(time.Millisecond))
+		}
+	}
+	return r
+}
+
+// TestGapEquivalence pins the feature-layer migration: the shared
+// MeanOutputGap and PairGaps-based gap formula are bit-identical to the
+// private copies IGI used before, across loss, reordering, and
+// duplicate-timestamp records (the canonical measurability convention).
+func TestGapEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		recv []float64 // ms; negative = lost
+	}{
+		{"clean", []float64{5, 6, 7.2, 8.1, 9.9}},
+		{"withLoss", []float64{5, -1, 7.2, 8.1, -1, 11}},
+		{"allLost", []float64{-1, -1, -1, -1}},
+		{"duplicates", []float64{5, 5, 6, 6, 7}},
+		{"reordered", []float64{5, 8, 6, 9, 7}},
+		{"single", []float64{5}},
+		{"compressed", []float64{5, 5.1, 5.2, 5.25, 5.3}},
+	}
+	capacity := 10 * unit.Mbps
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := gapRecord(tc.recv)
+			if got, want := r.MeanOutputGap(), legacyAverageOutputGap(r); got != want {
+				t.Errorf("MeanOutputGap = %v, legacy = %v", got, want)
+			}
+			if got, want := igiEstimate(r, capacity, 750), legacyIGIEstimate(r, capacity, 750); got != want {
+				t.Errorf("igiEstimate = %v, legacy = %v", got, want)
+			}
+		})
+	}
+}

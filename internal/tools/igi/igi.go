@@ -138,7 +138,7 @@ func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Repor
 		streams++
 		packets += spec.Count
 		bytes += spec.Bytes()
-		avgOut := averageOutputGap(rec)
+		avgOut := rec.MeanOutputGap()
 		if avgOut <= 0 {
 			// Unmeasurable train (all pairs lost); slow down and retry.
 			gap += time.Duration(float64(gapInit) * c.GapStep)
@@ -176,24 +176,6 @@ func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Repor
 	}, nil
 }
 
-// averageOutputGap returns the mean receiver-side pair gap of a train.
-func averageOutputGap(rec *probe.Record) time.Duration {
-	var sum time.Duration
-	n := 0
-	for k := 0; k+1 < rec.Spec.Count; k++ {
-		g := rec.Gap(k)
-		if g == probe.Lost || g <= 0 {
-			continue
-		}
-		sum += g
-		n++
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / time.Duration(n)
-}
-
 // igiEstimate applies the IGI gap formula at the turning point. A pair
 // that is backlogged at the tight link leaves with gap
 // g_out = g_B + X/C_t, where g_B is the probe packet's transmission time
@@ -208,8 +190,8 @@ func igiEstimate(rec *probe.Record, capacity unit.Rate, pktSize unit.Bytes) unit
 	gb := unit.TxTime(pktSize, capacity)
 	var cross, total time.Duration
 	for k := 0; k+1 < rec.Spec.Count; k++ {
-		gout := rec.Gap(k)
-		if gout == probe.Lost || gout <= 0 {
+		_, gout, ok := rec.PairGaps(k)
+		if !ok {
 			continue
 		}
 		total += gout

@@ -1,0 +1,109 @@
+package learned
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"abw/internal/core"
+	"abw/internal/tools/toolstest"
+	"abw/internal/unit"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing capacity accepted")
+	}
+	if _, err := New(Config{Capacity: 50 * unit.Mbps, StreamLen: 1}); err == nil {
+		t.Error("1-packet stream accepted")
+	}
+	if _, err := New(Config{Capacity: 50 * unit.Mbps, StreamsPerFrac: -1}); err == nil {
+		t.Error("negative streams per rate accepted")
+	}
+	bad := &Weights{Schema: "nope"}
+	if _, err := New(Config{Capacity: 50 * unit.Mbps, Weights: bad}); err == nil {
+		t.Error("invalid weights accepted")
+	}
+}
+
+func TestDefaultsComeFromPlan(t *testing.T) {
+	e, err := New(Config{Capacity: 50 * unit.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := e.cfg.Weights.Plan
+	if e.cfg.StreamLen != plan.StreamLen || e.cfg.PktSize != plan.PktSize || e.cfg.StreamsPerFrac != plan.StreamsPerFrac {
+		t.Errorf("config %+v does not follow the weight file's plan %+v", e.cfg, plan)
+	}
+	if e.Name() != "learned" {
+		t.Errorf("Name = %q", e.Name())
+	}
+}
+
+// TestEstimateCanonicalPath runs the committed weights end-to-end on
+// the canonical scenario family the model trained on: a single CBR
+// tight link. The tolerance is looser than the analytic tools' — the
+// model fits the whole catalog, not this path — but a sane model must
+// land well within the capacity scale.
+func TestEstimateCanonicalPath(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{Model: toolstest.CBR})
+	e, err := New(Config{Capacity: sc.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Estimate(context.Background(), sc.Transport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Point.MbpsOf()
+	trueA := sc.TrueAvailBw.MbpsOf()
+	if math.Abs(got-trueA) > 10 {
+		t.Errorf("estimate = %.2f Mbps, want %.1f ± 10", got, trueA)
+	}
+	if rep.Low > rep.Point || rep.Point > rep.High {
+		t.Errorf("range disordered: low %v point %v high %v", rep.Low, rep.Point, rep.High)
+	}
+	if rep.Streams != len(e.cfg.Weights.Plan.RateFracs)*e.cfg.StreamsPerFrac {
+		t.Errorf("streams = %d, want %d", rep.Streams, len(e.cfg.Weights.Plan.RateFracs)*e.cfg.StreamsPerFrac)
+	}
+	if rep.Packets <= 0 || rep.ProbeBytes <= 0 || rep.Elapsed <= 0 {
+		t.Errorf("effort not accounted: %+v", rep)
+	}
+	if len(rep.Samples) != rep.Streams {
+		t.Errorf("%d samples for %d streams", len(rep.Samples), rep.Streams)
+	}
+}
+
+// TestEstimateDeterministic pins the registry contract: two estimators
+// over identically-seeded scenarios report identical results.
+func TestEstimateDeterministic(t *testing.T) {
+	run := func() *core.Report {
+		sc := toolstest.New(toolstest.Options{Model: toolstest.Poisson})
+		e, err := New(Config{Capacity: sc.Capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Estimate(context.Background(), sc.Transport)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Point != b.Point || a.Low != b.Low || a.High != b.High {
+		t.Errorf("reports differ across identical runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestEstimateHonorsContext(t *testing.T) {
+	sc := toolstest.New(toolstest.Options{})
+	e, err := New(Config{Capacity: sc.Capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Estimate(ctx, sc.Transport); err == nil {
+		t.Error("cancelled context did not abort the estimate")
+	}
+}

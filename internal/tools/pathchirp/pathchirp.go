@@ -147,30 +147,12 @@ func (e *Estimator) analyzeChirp(rec *probe.Record) (unit.Rate, bool) {
 			}
 		}
 	}
-	owds := rec.OWDs()
-	if len(owds) < 3 {
+	q := rec.QueueDelaysSeconds()
+	if len(q) < 3 {
 		return 0, false
 	}
-	q := make([]float64, len(owds))
-	minOWD := owds[0]
-	for _, d := range owds[1:] {
-		if d < minOWD {
-			minOWD = d
-		}
-	}
-	for i, d := range owds {
-		q[i] = (d - minOWD).Seconds()
-	}
 	// Jitter threshold: median absolute delay step.
-	steps := make([]float64, 0, len(q)-1)
-	for i := 1; i < len(q); i++ {
-		d := q[i] - q[i-1]
-		if d < 0 {
-			d = -d
-		}
-		steps = append(steps, d)
-	}
-	thresh := medianOf(steps) * e.cfg.JitterFactor
+	thresh := stats.Median(probe.AbsDeltas(q)) * e.cfg.JitterFactor
 	if thresh == 0 {
 		thresh = 1e-7 // 100ns floor: virtually noise-free transport
 	}
@@ -199,22 +181,6 @@ func (e *Estimator) analyzeChirp(rec *probe.Record) (unit.Rate, bool) {
 		return 0, false
 	}
 	return r, true
-}
-
-func medianOf(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	tmp := append([]float64(nil), xs...)
-	for i := 1; i < len(tmp); i++ {
-		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
-			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
-		}
-	}
-	if len(tmp)%2 == 1 {
-		return tmp[len(tmp)/2]
-	}
-	return (tmp[len(tmp)/2-1] + tmp[len(tmp)/2]) / 2
 }
 
 var _ core.Estimator = (*Estimator)(nil)

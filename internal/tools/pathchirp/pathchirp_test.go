@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"abw/internal/stats"
 	"abw/internal/tools/toolstest"
 	"abw/internal/unit"
 )
@@ -100,14 +101,46 @@ func TestChirpEfficiency(t *testing.T) {
 	}
 }
 
-func TestMedianOf(t *testing.T) {
-	if m := medianOf([]float64{3, 1, 2}); m != 2 {
-		t.Errorf("medianOf odd = %g, want 2", m)
+// legacyMedianOf is the private median pathChirp carried before the
+// shared feature layer; kept here as the equivalence reference.
+func legacyMedianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
 	}
-	if m := medianOf([]float64{4, 1, 3, 2}); m != 2.5 {
-		t.Errorf("medianOf even = %g, want 2.5", m)
+	tmp := append([]float64(nil), xs...)
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
 	}
-	if m := medianOf(nil); m != 0 {
-		t.Errorf("medianOf empty = %g, want 0", m)
+	if len(tmp)%2 == 1 {
+		return tmp[len(tmp)/2]
+	}
+	return (tmp[len(tmp)/2-1] + tmp[len(tmp)/2]) / 2
+}
+
+// TestMedianEquivalence pins the migration onto the canonical
+// stats.Median: for every non-empty input (pathChirp never takes the
+// median of fewer than two steps) the shared median is bit-identical to
+// the legacy private copy.
+func TestMedianEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"odd", []float64{3, 1, 2}},
+		{"even", []float64{4, 1, 3, 2}},
+		{"two", []float64{7e-6, 3e-6}},
+		{"ties", []float64{1, 1, 1, 1, 1}},
+		{"negatives", []float64{-2, 5, -9, 0.5}},
+		{"typicalSteps", []float64{1.2e-5, 0, 3.4e-6, 9.9e-4, 2.1e-5, 0, 8e-7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := legacyMedianOf(tc.xs)
+			if got := stats.Median(tc.xs); got != want {
+				t.Errorf("stats.Median = %g, legacy medianOf = %g", got, want)
+			}
+		})
 	}
 }

@@ -1,0 +1,57 @@
+package pathload
+
+import (
+	"testing"
+	"time"
+
+	"abw/internal/probe"
+)
+
+// legacyOWDSeconds is the OWD conversion Pathload carried inline before
+// the shared feature layer, kept verbatim as the equivalence reference.
+func legacyOWDSeconds(rec *probe.Record) []float64 {
+	owds := rec.OWDs()
+	vals := make([]float64, len(owds))
+	for j, d := range owds {
+		vals[j] = d.Seconds()
+	}
+	return vals
+}
+
+// TestOWDSecondsEquivalence pins the trend-test input: the shared
+// OWDSeconds is bit-identical to the inline conversion, including which
+// packets a lossy stream contributes.
+func TestOWDSecondsEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		recv []float64 // ms; negative = lost
+	}{
+		{"clean", []float64{5, 5.4, 5.9, 6.6, 7.4}},
+		{"lossy", []float64{5, -1, 5.9, -1, 7.4, 7.5}},
+		{"allLost", []float64{-1, -1, -1}},
+		{"jittery", []float64{5, 4.9, 5.3, 5.1, 5.8, 5.2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := probe.NewRecord(probe.StreamSpec{PktSize: 1500, Count: len(tc.recv)})
+			for i := range tc.recv {
+				r.Sent[i] = time.Duration(i) * time.Millisecond
+				if tc.recv[i] < 0 {
+					r.Recv[i] = probe.Lost
+				} else {
+					r.Recv[i] = time.Duration(tc.recv[i] * float64(time.Millisecond))
+				}
+			}
+			want := legacyOWDSeconds(r)
+			got := r.OWDSeconds()
+			if len(got) != len(want) {
+				t.Fatalf("OWDSeconds len = %d, legacy %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("OWDSeconds[%d] = %g, legacy %g", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

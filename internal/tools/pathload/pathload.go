@@ -142,13 +142,9 @@ func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Repor
 			streams++
 			packets += spec.Count
 			bytes += spec.Bytes()
-			owds := rec.OWDs()
-			if len(owds) < c.StreamLen/2 {
+			vals := rec.OWDSeconds()
+			if len(vals) < c.StreamLen/2 {
 				continue // too lossy to analyze
-			}
-			vals := make([]float64, len(owds))
-			for j, d := range owds {
-				vals[j] = d.Seconds()
 			}
 			usable++
 			if stats.OWDTrend(vals, c.Trend).Verdict == stats.TrendIncreasing {

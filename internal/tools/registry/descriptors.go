@@ -5,6 +5,7 @@ import (
 	"abw/internal/tools/bfind"
 	"abw/internal/tools/delphi"
 	"abw/internal/tools/igi"
+	"abw/internal/tools/learned"
 	"abw/internal/tools/pathchirp"
 	"abw/internal/tools/pathload"
 	"abw/internal/tools/spruce"
@@ -140,6 +141,23 @@ func init() {
 			return bfind.New(bfind.Config{
 				StartRate: lo, MaxRate: hi,
 				LoadPktSize: p.PktSize,
+			})
+		},
+	})
+	Register(Descriptor{
+		Name:          "learned",
+		Aliases:       []string{"ml", "ridge-knn"},
+		Summary:       "learned estimator: ridge + k-NN over the shared probe features; needs C_t (trained on the catalog)",
+		NeedsCapacity: true,
+		// The probe plan lives in the weight file; Params overrides map
+		// onto it (StreamLen → packets per stream, Repeat → streams per
+		// rate fraction) so budget-fair Quick runs stay possible.
+		Defaults: Params{},
+		Build: func(p Params) (core.Estimator, error) {
+			return learned.New(learned.Config{
+				Capacity: p.Capacity,
+				PktSize:  p.PktSize, StreamLen: p.StreamLen,
+				StreamsPerFrac: p.Repeat,
 			})
 		},
 	})

@@ -223,7 +223,7 @@ func TestSimOnlyRefusesDecorators(t *testing.T) {
 // TestCompareOrderStable pins the catalog order the compare experiment
 // and the CLI inherit: registration order, end-to-end tools first.
 func TestCompareOrderStable(t *testing.T) {
-	want := []string{"pathload", "topp", "pathchirp", "ptr", "igi", "delphi", "spruce", "bfind"}
+	want := []string{"pathload", "topp", "pathchirp", "ptr", "igi", "delphi", "spruce", "bfind", "learned"}
 	got := registry.Names()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v, want %v", got, want)

@@ -1,0 +1,88 @@
+package spruce
+
+import (
+	"testing"
+	"time"
+
+	"abw/internal/probe"
+	"abw/internal/unit"
+)
+
+// legacyPairSamples is the per-pair gap-model loop Spruce carried before
+// the shared feature layer, kept verbatim as the equivalence reference.
+func legacyPairSamples(rec *probe.Record, capacity unit.Rate, pktSize unit.Bytes, n int) []unit.Rate {
+	var samples []unit.Rate
+	gin := unit.GapFor(pktSize, capacity)
+	for k := 0; k < n; k++ {
+		gout := rec.Gap(2 * k)
+		if gout == probe.Lost || gout <= 0 {
+			continue
+		}
+		a := float64(capacity) * (1 - float64(gout-gin)/float64(gin))
+		if a < 0 {
+			a = 0
+		}
+		if a > float64(capacity) {
+			a = float64(capacity)
+		}
+		samples = append(samples, unit.Rate(a))
+	}
+	return samples
+}
+
+func pairRecord(recvMs []float64) *probe.Record {
+	n := len(recvMs)
+	r := probe.NewRecord(probe.StreamSpec{PktSize: 1500, Count: n})
+	for i := range recvMs {
+		r.Sent[i] = time.Duration(i) * time.Millisecond
+		if recvMs[i] < 0 {
+			r.Recv[i] = probe.Lost
+		} else {
+			r.Recv[i] = time.Duration(recvMs[i] * float64(time.Millisecond))
+		}
+	}
+	return r
+}
+
+// TestGapModelEquivalence pins the migration onto PairGaps +
+// PairGapAvailBw: per-pair samples are bit-identical to the private
+// loop Spruce used before, including the skip decisions for lost,
+// duplicate, and reordered pairs.
+func TestGapModelEquivalence(t *testing.T) {
+	capacity := 48 * unit.Mbps
+	cases := []struct {
+		name string
+		recv []float64 // ms; negative = lost
+	}{
+		{"clean", []float64{5, 5.3, 25, 25.2, 45, 45.7, 65, 65.25}},
+		{"lossyPairs", []float64{5, -1, 25, 25.2, -1, 45.7, 65, -1}},
+		{"allLost", []float64{-1, -1, -1, -1}},
+		{"duplicateStamps", []float64{5, 5, 25, 25, 45, 45.7}},
+		{"reordered", []float64{5, 4.8, 25, 25.2}},
+		{"hugeExpansion", []float64{5, 50, 60, 61}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := pairRecord(tc.recv)
+			n := len(tc.recv) / 2
+			want := legacyPairSamples(rec, capacity, 1500, n)
+			gin := unit.GapFor(unit.Bytes(1500), capacity)
+			var got []unit.Rate
+			for k := 0; k < n; k++ {
+				_, gout, ok := rec.PairGaps(2 * k)
+				if !ok {
+					continue
+				}
+				got = append(got, probe.PairGapAvailBw(capacity, gin, gout))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("sample count %d, legacy %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("sample %d: %v, legacy %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -118,21 +118,15 @@ func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Repor
 		streams++
 		packets += spec.Count
 		bytes += spec.Bytes()
+		// The gap model's Δin is the constructed spacing gin, not the
+		// measured send gap: Spruce trusts its own pacing.
 		gin := unit.GapFor(c.PktSize, c.Capacity)
 		for k := 0; k < n; k++ {
-			gout := rec.Gap(2 * k)
-			if gout == probe.Lost || gout <= 0 {
+			_, gout, ok := rec.PairGaps(2 * k)
+			if !ok {
 				continue
 			}
-			// Spruce gap model; clamp to the physical range [0, C_t].
-			a := float64(c.Capacity) * (1 - float64(gout-gin)/float64(gin))
-			if a < 0 {
-				a = 0
-			}
-			if a > float64(c.Capacity) {
-				a = float64(c.Capacity)
-			}
-			samples = append(samples, unit.Rate(a))
+			samples = append(samples, probe.PairGapAvailBw(c.Capacity, gin, gout))
 		}
 	}
 	if len(samples) == 0 {

@@ -1,0 +1,81 @@
+package topp
+
+import (
+	"testing"
+	"time"
+
+	"abw/internal/probe"
+)
+
+// legacyRoundGaps is the summed-gap loop TOPP carried before the shared
+// feature layer, kept verbatim as the equivalence reference.
+func legacyRoundGaps(rec *probe.Record, pairs int) (gin, gout time.Duration) {
+	for k := 0; k < pairs; k++ {
+		g := rec.Gap(2 * k)
+		if g == probe.Lost || g <= 0 {
+			continue
+		}
+		gin += rec.Sent[2*k+1] - rec.Sent[2*k]
+		gout += g
+	}
+	return gin, gout
+}
+
+func roundRecord(sentMs, recvMs []float64) *probe.Record {
+	r := probe.NewRecord(probe.StreamSpec{PktSize: 1500, Count: len(recvMs)})
+	for i := range recvMs {
+		r.Sent[i] = time.Duration(sentMs[i] * float64(time.Millisecond))
+		if recvMs[i] < 0 {
+			r.Recv[i] = probe.Lost
+		} else {
+			r.Recv[i] = time.Duration(recvMs[i] * float64(time.Millisecond))
+		}
+	}
+	return r
+}
+
+// TestRoundGapEquivalence pins the migration onto PairGaps: the summed
+// input/output gaps of a probing round are bit-identical to the private
+// loop, including which pairs each convention discards.
+func TestRoundGapEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		sentMs []float64
+		recvMs []float64 // negative = lost
+	}{
+		{
+			"clean",
+			[]float64{0, 0.3, 3, 3.3, 6, 6.3, 9, 9.3},
+			[]float64{5, 5.4, 8, 8.35, 11, 11.6, 14, 14.3},
+		},
+		{
+			"lossAndReorder",
+			[]float64{0, 0.3, 3, 3.3, 6, 6.3, 9, 9.3},
+			[]float64{5, -1, 8, 7.9, 11, 11, 14, 14.3},
+		},
+		{
+			"allUnmeasurable",
+			[]float64{0, 0.3, 3, 3.3},
+			[]float64{-1, 5.4, 8, 8},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := roundRecord(tc.sentMs, tc.recvMs)
+			pairs := len(tc.recvMs) / 2
+			wantIn, wantOut := legacyRoundGaps(rec, pairs)
+			var gotIn, gotOut time.Duration
+			for k := 0; k < pairs; k++ {
+				pin, pout, ok := rec.PairGaps(2 * k)
+				if !ok {
+					continue
+				}
+				gotIn += pin
+				gotOut += pout
+			}
+			if gotIn != wantIn || gotOut != wantOut {
+				t.Errorf("summed gaps = (%v, %v), legacy (%v, %v)", gotIn, gotOut, wantIn, wantOut)
+			}
+		})
+	}
+}

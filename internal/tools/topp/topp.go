@@ -113,12 +113,12 @@ func (e *Estimator) Estimate(ctx context.Context, t core.Transport) (*core.Repor
 		// traffic.
 		var gin, gout time.Duration
 		for k := 0; k < c.PairsPerRate; k++ {
-			g := rec.Gap(2 * k)
-			if g == probe.Lost || g <= 0 {
+			pin, pout, ok := rec.PairGaps(2 * k)
+			if !ok {
 				continue
 			}
-			gin += rec.Sent[2*k+1] - rec.Sent[2*k]
-			gout += g
+			gin += pin
+			gout += pout
 		}
 		if gin <= 0 {
 			continue

@@ -7,9 +7,15 @@
 // senders may probe it at once, each in its own session; -max-sessions
 // bounds them and -stats controls the periodic stats line. -stats-json
 // switches those lines to one-line JSON on stdout — the same wire shape
-// abwmonitor serves in /api/status, so the two feed the same tooling:
+// abwmonitor serves in /api/status, so the two feed the same tooling.
+// Datagrams are drained through the batched ingest fast path (recvmmsg
+// with kernel RX timestamps) where the platform supports it; -rcvbuf
+// requests a socket receive buffer (the kernel-granted size is logged
+// and surfaced in the stats), and -ingest-fallback forces the portable
+// single-read loop for A/B comparison:
 //
 //	abwprobe -mode recv -listen 0.0.0.0:9876 -max-sessions 128 -stats 5s
+//	abwprobe -mode recv -listen 0.0.0.0:9876 -rcvbuf 4194304 -stats 5s
 //	abwprobe -mode recv -listen 0.0.0.0:9876 -stats 5s -stats-json | jq .active_sessions
 //
 // Sender (pathload over the live path):
@@ -58,6 +64,8 @@ func main() {
 		maxSess   = flag.Int("max-sessions", 0, "receiver: max concurrent sender sessions (0 = default 64)")
 		statsDur  = flag.Duration("stats", 5*time.Second, "receiver: stats line interval on stderr (0 = off)")
 		statsJSON = flag.Bool("stats-json", false, "receiver: emit stats lines as JSON on stdout (abwmonitor's wire shape)")
+		rcvBuf    = flag.Int("rcvbuf", 0, "receiver: request this SO_RCVBUF in bytes on the probe socket (0 = OS default); the kernel-granted size is logged and surfaced in -stats-json")
+		fallback  = flag.Bool("ingest-fallback", false, "receiver: force the portable single-read ingest path (no batched syscalls, userspace timestamps)")
 		to        = flag.String("to", "", "receiver address to probe toward")
 		tool      = flag.String("tool", "pathload", "estimation technique (see -tools)")
 		tools     = flag.Bool("tools", false, "list the registered tools and exit")
@@ -108,7 +116,7 @@ func main() {
 	}
 	switch *mode {
 	case "recv":
-		recv(*listen, *maxSess, *statsDur, *statsJSON)
+		recv(*listen, *maxSess, *rcvBuf, *fallback, *statsDur, *statsJSON)
 	case "send":
 		if *to == "" {
 			usageErr("send mode needs -to host:port")
@@ -243,14 +251,28 @@ func simulate(scenarioName, tool string, params abw.Params, jsonOut, progress bo
 // periodically reporting sessions, streams, packets, and drops — as
 // text on stderr, or with jsonStats as one-line JSON on stdout in the
 // monitor's wire shape (abw.EncodeReceiverStats).
-func recv(listen string, maxSessions int, statsEvery time.Duration, jsonStats bool) {
-	r, err := abw.ListenReceiverConfig(listen, abw.ReceiverConfig{MaxSessions: maxSessions})
+func recv(listen string, maxSessions, rcvBuf int, fallback bool, statsEvery time.Duration, jsonStats bool) {
+	r, err := abw.ListenReceiverConfig(listen, abw.ReceiverConfig{
+		MaxSessions:   maxSessions,
+		RcvBuf:        rcvBuf,
+		ForceFallback: fallback,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abwprobe: %v\n", err)
 		os.Exit(exitEstim)
 	}
 	defer r.Close()
+	st := r.Stats()
+	tsSrc := "userspace clock"
+	if st.KernelTimestamps {
+		tsSrc = "kernel RX timestamps"
+	}
 	fmt.Fprintf(os.Stderr, "abwprobe: receiving on %s (ctrl+c to stop)\n", r.Addr())
+	fmt.Fprintf(os.Stderr, "abwprobe: ingest: %s, rcvbuf granted %d bytes", tsSrc, st.RcvBufBytes)
+	if rcvBuf > 0 {
+		fmt.Fprintf(os.Stderr, " (requested %d; Linux reports double the usable request)", rcvBuf)
+	}
+	fmt.Fprintln(os.Stderr)
 	report := func() {
 		if jsonStats {
 			if err := abw.EncodeReceiverStats(os.Stdout, r.Stats()); err != nil {

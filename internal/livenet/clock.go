@@ -1,0 +1,30 @@
+package livenet
+
+import "time"
+
+// Clock is the timer source for the receiver's time-based waits —
+// today that is finishStream's bounded straggler drain. Production
+// receivers use the real clock (nil Config.Clock); tests inject a fake
+// so the waits are driven by the test, not by wall-clock sleeps.
+type Clock interface {
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is a one-shot timer handed out by a Clock.
+type Timer interface {
+	// C is the channel the firing is delivered on.
+	C() <-chan time.Time
+	// Stop disarms the timer; a firing already delivered stays in C.
+	Stop()
+}
+
+// realClock is the production Clock, backed by the runtime clock.
+type realClock struct{}
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{t: time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time { return rt.t.C }
+func (rt realTimer) Stop()               { rt.t.Stop() }

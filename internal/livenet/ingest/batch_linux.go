@@ -1,0 +1,297 @@
+//go:build linux && (amd64 || arm64)
+
+package ingest
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr on 64-bit Linux: one message header
+// plus the kernel-filled received length.
+type mmsghdr struct {
+	Hdr syscall.Msghdr
+	Len uint32
+	_   [4]byte
+}
+
+const (
+	// nameSize holds the larger of sockaddr_in / sockaddr_in6.
+	nameSize = syscall.SizeofSockaddrInet6
+	// ctrlSize holds one SCM_TIMESTAMPNS control message (cmsghdr +
+	// struct timespec) with alignment slack.
+	ctrlSize = 64
+)
+
+// batchReader is the Linux fast path: recvmmsg drains up to cfg.Batch
+// datagrams per syscall into a preallocated slot ring, and each
+// datagram carries the kernel's RX timestamp from its SO_TIMESTAMPNS
+// control message. Nothing on the per-batch path allocates: buffers,
+// sockaddr scratch, control buffers, and the per-slot UDPAddrs are all
+// fixed at construction and rewritten in place.
+type batchReader struct {
+	raw    syscall.RawConn
+	ts     *Timestamper
+	kernel bool
+
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	slab  []byte // n × slot payload ring
+	names []byte // n × nameSize sockaddr scratch
+	ctrls []byte // n × ctrlSize cmsg scratch
+	views [][]byte
+	addrs []net.UDPAddr
+
+	// recvFn is the RawConn.Read callback, built once so the per-batch
+	// path does not allocate a closure per syscall; vlen/got/errno are
+	// its captured state (single-consumer, so unsynchronized is fine).
+	recvFn func(fd uintptr) bool
+	vlen   int
+	got    uintptr
+	errno  syscall.Errno
+}
+
+// newBatchReader arms the fast path on conn: SO_TIMESTAMPNS for kernel
+// RX stamps (a refusal degrades to userspace stamps, still batched)
+// and the recvmmsg slot ring.
+func newBatchReader(conn *net.UDPConn, cfg Config) (Reader, error) {
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	kernel := false
+	ctrlErr := raw.Control(func(fd uintptr) {
+		kernel = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_TIMESTAMPNS, 1) == nil
+	})
+	if ctrlErr != nil {
+		return nil, ctrlErr
+	}
+	n := cfg.Batch
+	r := &batchReader{
+		raw:    raw,
+		ts:     cfg.Timestamper,
+		kernel: kernel,
+		hdrs:   make([]mmsghdr, n),
+		iovs:   make([]syscall.Iovec, n),
+		slab:   make([]byte, n*cfg.Slot),
+		names:  make([]byte, n*nameSize),
+		ctrls:  make([]byte, n*ctrlSize),
+		views:  make([][]byte, n),
+		addrs:  make([]net.UDPAddr, n),
+	}
+	for i := 0; i < n; i++ {
+		r.views[i] = r.slab[i*cfg.Slot : (i+1)*cfg.Slot]
+		r.addrs[i].IP = make(net.IP, 0, 16)
+		r.iovs[i].Base = &r.views[i][0]
+		r.iovs[i].SetLen(cfg.Slot)
+		h := &r.hdrs[i].Hdr
+		h.Name = &r.names[i*nameSize]
+		h.Iov = &r.iovs[i]
+		h.Iovlen = 1
+		h.Control = &r.ctrls[i*ctrlSize]
+	}
+	r.recvFn = func(fd uintptr) bool {
+		r.got, _, r.errno = syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&r.hdrs[0])), uintptr(r.vlen),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		// false parks the goroutine on the netpoller until the socket
+		// is readable again.
+		return r.errno != syscall.EAGAIN
+	}
+	return r, nil
+}
+
+func (r *batchReader) Kernel() bool   { return r.kernel }
+func (r *batchReader) BatchSize() int { return len(r.hdrs) }
+
+func (r *batchReader) ReadBatch(ds []Datagram) (int, error) {
+	vlen := len(ds)
+	if vlen > len(r.hdrs) {
+		vlen = len(r.hdrs)
+	}
+	// Reset the kernel-written header fields the previous batch dirtied.
+	for i := 0; i < vlen; i++ {
+		h := &r.hdrs[i]
+		h.Len = 0
+		h.Hdr.Namelen = nameSize
+		h.Hdr.SetControllen(ctrlSize)
+		h.Hdr.Flags = 0
+	}
+	r.vlen = vlen
+	for {
+		err := r.raw.Read(r.recvFn)
+		if err != nil {
+			return 0, err // socket closed underneath the reader
+		}
+		if r.errno == syscall.EINTR {
+			continue
+		}
+		if r.errno != 0 {
+			return 0, r.errno
+		}
+		break
+	}
+	n := int(r.got)
+	for i := 0; i < n; i++ {
+		h := &r.hdrs[i]
+		d := &ds[i]
+		d.Payload = r.views[i][:h.Len]
+		parseSockaddr(&r.addrs[i], r.names[i*nameSize:(i+1)*nameSize])
+		d.Src = &r.addrs[i]
+		d.AtNs, d.Kernel = 0, false
+		if r.kernel {
+			if ns, ok := kernelStampNs(r.ctrls[i*ctrlSize:i*ctrlSize+int(h.Hdr.Controllen)], r.ts); ok {
+				d.AtNs, d.Kernel = ns, true
+			}
+		}
+		if !d.Kernel {
+			d.AtNs = r.ts.Now()
+		}
+	}
+	return n, nil
+}
+
+// kernelStampNs walks a received control buffer for the SCM_TIMESTAMPNS
+// message and rebases it onto the Timestamper epoch. A missing or
+// malformed message — or a wall-clock step that would produce a
+// negative arrival — reports ok=false so the caller falls back to the
+// userspace stamp for this one datagram.
+func kernelStampNs(b []byte, ts *Timestamper) (int64, bool) {
+	const align = 8 // cmsg alignment on 64-bit Linux
+	for len(b) >= syscall.SizeofCmsghdr {
+		h := (*syscall.Cmsghdr)(unsafe.Pointer(&b[0]))
+		l := int(h.Len)
+		if l < syscall.SizeofCmsghdr || l > len(b) {
+			return 0, false
+		}
+		if h.Level == syscall.SOL_SOCKET && h.Type == syscall.SCM_TIMESTAMPNS &&
+			l >= syscall.SizeofCmsghdr+int(unsafe.Sizeof(syscall.Timespec{})) {
+			sp := (*syscall.Timespec)(unsafe.Pointer(&b[syscall.SizeofCmsghdr]))
+			ns := ts.FromWall(sp.Sec, sp.Nsec)
+			return ns, ns >= 0
+		}
+		next := (l + align - 1) &^ (align - 1)
+		if next <= 0 || next >= len(b) {
+			break
+		}
+		b = b[next:]
+	}
+	return 0, false
+}
+
+// parseSockaddr rewrites dst in place from raw kernel sockaddr bytes;
+// dst.IP must have capacity 16. The port sits at bytes [2:4] in
+// network order for both families.
+func parseSockaddr(dst *net.UDPAddr, b []byte) {
+	switch *(*uint16)(unsafe.Pointer(&b[0])) {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&b[0]))
+		dst.IP = append(dst.IP[:0], sa.Addr[:]...)
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&b[0]))
+		dst.IP = append(dst.IP[:0], sa.Addr[:]...)
+	default:
+		dst.IP = dst.IP[:0]
+	}
+	dst.Port = int(b[2])<<8 | int(b[3])
+	dst.Zone = ""
+}
+
+// Writer batches back-to-back datagrams on a connected UDP socket into
+// sendmmsg calls, so a zero-gap packet train leaves the host as one
+// syscall's worth of departures instead of per-packet syscall jitter.
+type Writer struct {
+	conn *net.UDPConn
+	raw  syscall.RawConn // nil = sequential fallback
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+
+	// sendFn is the RawConn.Write callback, built once so batched sends
+	// do not allocate a closure per syscall.
+	sendFn func(fd uintptr) bool
+	vlen   int
+	sent   uintptr
+	errno  syscall.Errno
+}
+
+// writerBatch bounds one sendmmsg call; longer trains loop.
+const writerBatch = 64
+
+// NewWriter arms batched sends on conn; on any failure the writer
+// degrades to sequential conn.Write calls, so it is always usable.
+func NewWriter(conn *net.UDPConn) *Writer {
+	w := &Writer{conn: conn}
+	if raw, err := conn.SyscallConn(); err == nil {
+		w.raw = raw
+		w.hdrs = make([]mmsghdr, writerBatch)
+		w.iovs = make([]syscall.Iovec, writerBatch)
+		for i := range w.hdrs {
+			w.hdrs[i].Hdr.Iov = &w.iovs[i]
+			w.hdrs[i].Hdr.Iovlen = 1
+		}
+		w.sendFn = func(fd uintptr) bool {
+			w.sent, _, w.errno = syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&w.hdrs[0])), uintptr(w.vlen),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			return w.errno != syscall.EAGAIN
+		}
+	}
+	return w
+}
+
+// Batched reports whether WriteBatch coalesces into sendmmsg.
+func (w *Writer) Batched() bool { return w.raw != nil }
+
+// WriteBatch sends every buffer, in order, coalescing up to
+// writerBatch per sendmmsg syscall. Partial sends resume where the
+// kernel stopped.
+func (w *Writer) WriteBatch(bufs [][]byte) error {
+	if w.raw == nil {
+		for _, b := range bufs {
+			if _, err := w.conn.Write(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for len(bufs) > 0 {
+		vlen := len(bufs)
+		if vlen > writerBatch {
+			vlen = writerBatch
+		}
+		for i := 0; i < vlen; i++ {
+			w.iovs[i].Base = &bufs[i][0]
+			w.iovs[i].SetLen(len(bufs[i]))
+		}
+		w.vlen = vlen
+		if err := w.raw.Write(w.sendFn); err != nil {
+			return err
+		}
+		if w.errno == syscall.EINTR {
+			continue
+		}
+		if w.errno != 0 {
+			return w.errno
+		}
+		bufs = bufs[w.sent:]
+	}
+	return nil
+}
+
+// EffectiveRcvBuf reports the receive buffer size the kernel actually
+// granted (Linux doubles the requested value for bookkeeping), or 0 if
+// it cannot be read.
+func EffectiveRcvBuf(conn *net.UDPConn) int {
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		return 0
+	}
+	size := 0
+	raw.Control(func(fd uintptr) {
+		if v, err := syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF); err == nil {
+			size = v
+		}
+	})
+	return size
+}

@@ -1,0 +1,43 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package ingest
+
+import (
+	"errors"
+	"net"
+)
+
+// errNoFastPath reports that this platform has no batched
+// kernel-timestamped receive path; NewReader degrades to the portable
+// single-read fallback.
+var errNoFastPath = errors.New("ingest: batched receive not supported on this platform")
+
+func newBatchReader(conn *net.UDPConn, cfg Config) (Reader, error) {
+	return nil, errNoFastPath
+}
+
+// Writer degrades to sequential sends where sendmmsg is unavailable;
+// the pacing semantics are identical, only the syscall count differs.
+type Writer struct {
+	conn *net.UDPConn
+}
+
+// NewWriter returns the sequential-write fallback writer.
+func NewWriter(conn *net.UDPConn) *Writer { return &Writer{conn: conn} }
+
+// Batched reports whether WriteBatch coalesces syscalls (never, here).
+func (w *Writer) Batched() bool { return false }
+
+// WriteBatch sends every buffer in order, one syscall each.
+func (w *Writer) WriteBatch(bufs [][]byte) error {
+	for _, b := range bufs {
+		if _, err := w.conn.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EffectiveRcvBuf reports the granted receive buffer size, or 0 when
+// the platform offers no way to read it back.
+func EffectiveRcvBuf(conn *net.UDPConn) int { return 0 }

@@ -1,0 +1,202 @@
+// Package ingest is livenet's datagram intake layer: it owns the
+// receive syscalls, the arrival timestamps, and the buffer memory that
+// probe datagrams land in, so the receiver above it never allocates on
+// the packet path and never reads the clock itself.
+//
+// Two implementations sit behind the Reader interface:
+//
+//   - The Linux fast path (batch_linux.go) drains up to Config.Batch
+//     datagrams per recvmmsg syscall into a reusable slot ring and
+//     stamps each with the kernel's RX timestamp (SO_TIMESTAMPNS
+//     control messages), so measured inter-arrival gaps exclude
+//     scheduler wakeup jitter — the end-host timing pitfall the paper's
+//     calibration section warns about.
+//   - The portable fallback (this file) reads one datagram per syscall
+//     into the same kind of reusable slot and stamps it with the
+//     userspace monotonic clock. Every platform keeps working; only
+//     timing fidelity and throughput differ.
+//
+// Buffer-ring ownership rule: ReadBatch hands out views into the
+// reader's own slots (payload bytes and source addresses alike). They
+// are valid until the caller's next ReadBatch call on the same reader
+// — the reader is single-consumer by design. The caller must finish
+// parsing and stream accounting (copying out the one datum it keeps,
+// the arrival timestamp) before draining the next batch; nothing is
+// ever retained from a slot, so reclamation is implicit and free.
+//
+// Timestamp source hierarchy: kernel RX stamp when the socket option
+// took and the control message arrived intact; the reader's monotonic
+// Timestamper otherwise — per datagram, so one missing control message
+// degrades one stamp, not the stream. Both sources are reported
+// relative to the same Timestamper epoch, and Datagram.Kernel says
+// which one stamped each datagram.
+package ingest
+
+import (
+	"net"
+	"net/netip"
+	"time"
+)
+
+// Datagram is one received probe datagram. Payload and Src point into
+// the reader's reusable slot memory: they are valid until the next
+// ReadBatch call, and must be copied to be retained.
+type Datagram struct {
+	// Payload is the datagram's bytes, length included.
+	Payload []byte
+	// Src is the sender's address, reused slot memory like Payload.
+	Src *net.UDPAddr
+	// AtNs is the arrival time in nanoseconds since the reader's
+	// Timestamper epoch.
+	AtNs int64
+	// Kernel reports whether AtNs came from a kernel RX timestamp
+	// rather than the userspace fallback clock.
+	Kernel bool
+}
+
+// Config sizes a reader.
+type Config struct {
+	// Batch is the maximum datagrams drained per syscall on the fast
+	// path (default 64, capped at 1024). The fallback path reads one
+	// datagram per call regardless.
+	Batch int
+	// Slot is the per-datagram buffer size (default 65536, which holds
+	// any IPv4 UDP payload).
+	Slot int
+	// ForceFallback selects the portable single-read path even where
+	// the batched kernel-timestamped path is available — for
+	// differential tests and for operating without kernel timestamps.
+	ForceFallback bool
+	// Timestamper supplies the arrival clock; nil starts a fresh one.
+	Timestamper *Timestamper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.Batch > 1024 {
+		c.Batch = 1024
+	}
+	if c.Slot <= 0 {
+		c.Slot = 65536
+	}
+	if c.Timestamper == nil {
+		c.Timestamper = NewTimestamper()
+	}
+	return c
+}
+
+// Reader drains datagrams from a socket into caller-visible batches.
+// It is single-consumer: one goroutine calls ReadBatch in a loop, and
+// each call invalidates the previous call's Datagrams.
+type Reader interface {
+	// ReadBatch blocks until at least one datagram is available and
+	// fills ds with as many as one syscall (fast path) or one read
+	// (fallback) yields, returning the count. A socket closed underneath
+	// the reader surfaces as an error.
+	ReadBatch(ds []Datagram) (int, error)
+	// Kernel reports whether arrival stamps come from kernel RX
+	// timestamps on this reader.
+	Kernel() bool
+	// BatchSize is the largest count one ReadBatch call can return —
+	// the right length for the caller's Datagram slice.
+	BatchSize() int
+}
+
+// NewReader picks the best available implementation for the platform:
+// the batched kernel-timestamped fast path where supported (Linux
+// amd64/arm64), the portable single-read fallback otherwise or when
+// cfg.ForceFallback is set. It never fails: an error arming the fast
+// path (exotic socket, denied setsockopt) degrades to the fallback.
+func NewReader(conn *net.UDPConn, cfg Config) Reader {
+	cfg = cfg.withDefaults()
+	if !cfg.ForceFallback {
+		if r, err := newBatchReader(conn, cfg); err == nil {
+			return r
+		}
+	}
+	return newSingleReader(conn, cfg)
+}
+
+// Timestamper converts arrival instants to nanoseconds since one fixed
+// epoch, whichever clock observed them. Userspace stamps ride Go's
+// monotonic clock; kernel stamps arrive on CLOCK_REALTIME and are
+// rebased onto the same epoch via the wall time captured at creation.
+// Within one stream all stamps come from one source, so the offset
+// between the two clocks cancels out of every gap and trend the
+// estimators consume.
+type Timestamper struct {
+	epoch     time.Time // carries the monotonic reading
+	epochWall int64     // wall nanoseconds at the epoch, for kernel stamps
+}
+
+// NewTimestamper starts an epoch at the current instant.
+func NewTimestamper() *Timestamper {
+	now := time.Now()
+	return &Timestamper{epoch: now, epochWall: now.UnixNano()}
+}
+
+// Now is the userspace fallback stamp: monotonic nanoseconds since the
+// epoch.
+func (t *Timestamper) Now() int64 { return int64(time.Since(t.epoch)) }
+
+// FromWall rebases a kernel CLOCK_REALTIME timestamp onto the epoch.
+// The result can go negative if the wall clock stepped backwards past
+// the epoch mid-run; callers treat that as "no kernel stamp" rather
+// than emit a negative arrival time.
+func (t *Timestamper) FromWall(sec, nsec int64) int64 {
+	return sec*1e9 + nsec - t.epochWall
+}
+
+// singleReader is the portable fallback: one datagram per call via the
+// allocation-free ReadFromUDPAddrPort, stamped in userspace. Its slot
+// memory (buffer and address) is reused across calls under the same
+// ownership rule as the fast path.
+type singleReader struct {
+	conn *net.UDPConn
+	ts   *Timestamper
+	buf  []byte
+	addr net.UDPAddr
+}
+
+func newSingleReader(conn *net.UDPConn, cfg Config) *singleReader {
+	return &singleReader{
+		conn: conn,
+		ts:   cfg.Timestamper,
+		buf:  make([]byte, cfg.Slot),
+		addr: net.UDPAddr{IP: make(net.IP, 0, 16)},
+	}
+}
+
+func (r *singleReader) ReadBatch(ds []Datagram) (int, error) {
+	n, ap, err := r.conn.ReadFromUDPAddrPort(r.buf)
+	at := r.ts.Now()
+	if err != nil {
+		return 0, err
+	}
+	fillUDPAddr(&r.addr, ap)
+	ds[0] = Datagram{Payload: r.buf[:n], Src: &r.addr, AtNs: at}
+	return 1, nil
+}
+
+func (r *singleReader) Kernel() bool   { return false }
+func (r *singleReader) BatchSize() int { return 1 }
+
+// fillUDPAddr rewrites dst in place from an AddrPort without
+// allocating: dst.IP must have capacity 16.
+func fillUDPAddr(dst *net.UDPAddr, ap netip.AddrPort) {
+	a := ap.Addr()
+	if a.Is4In6() {
+		a = a.Unmap()
+	}
+	if a.Is4() {
+		b := a.As4()
+		dst.IP = append(dst.IP[:0], b[:]...)
+	} else {
+		b := a.As16()
+		dst.IP = append(dst.IP[:0], b[:]...)
+	}
+	dst.Port = int(ap.Port())
+	dst.Zone = ""
+}

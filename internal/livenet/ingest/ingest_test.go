@@ -1,0 +1,275 @@
+package ingest
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func udpPair(t *testing.T) (*net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	rc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	sc, err := net.DialUDP("udp", nil, rc.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return rc, sc
+}
+
+// drain reads datagrams from r until count payloads are collected,
+// copying them out (the slots are reused across ReadBatch calls).
+func drain(t *testing.T, r Reader, count int) ([][]byte, []Datagram) {
+	t.Helper()
+	var payloads [][]byte
+	var metas []Datagram
+	batch := make([]Datagram, r.BatchSize())
+	for len(payloads) < count {
+		n, err := r.ReadBatch(batch)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d datagrams: %v", len(payloads), err)
+		}
+		for i := 0; i < n; i++ {
+			payloads = append(payloads, append([]byte(nil), batch[i].Payload...))
+			m := batch[i]
+			m.Payload = nil
+			m.Src = &net.UDPAddr{IP: append(net.IP(nil), batch[i].Src.IP...), Port: batch[i].Src.Port}
+			metas = append(metas, m)
+		}
+	}
+	return payloads, metas
+}
+
+// sendAndDrain pushes bufs through the socket in small flow-controlled
+// chunks — send, drain, repeat — so no test depends on kernel socket
+// buffer depth (rmem_max is tiny on some CI hosts and a blast would
+// silently drop the tail).
+func sendAndDrain(t *testing.T, w *Writer, r Reader, bufs [][]byte) ([][]byte, []Datagram) {
+	t.Helper()
+	const chunk = 50
+	var payloads [][]byte
+	var metas []Datagram
+	for off := 0; off < len(bufs); off += chunk {
+		end := off + chunk
+		if end > len(bufs) {
+			end = len(bufs)
+		}
+		if err := w.WriteBatch(bufs[off:end]); err != nil {
+			t.Fatal(err)
+		}
+		p, m := drain(t, r, end-off)
+		payloads = append(payloads, p...)
+		metas = append(metas, m...)
+	}
+	return payloads, metas
+}
+
+// TestReadersSeeIdenticalDatagramSequence is the reader-level
+// differential test: the fast path and the portable fallback must
+// deliver the same payload bytes in the same order for the same sent
+// sequence, whatever their syscall batching.
+func TestReadersSeeIdenticalDatagramSequence(t *testing.T) {
+	const count = 500
+	var got [2][][]byte
+	for mode, force := range []bool{false, true} {
+		rc, sc := udpPair(t)
+		r := NewReader(rc, Config{ForceFallback: force})
+		sent := make([][]byte, count)
+		for i := range sent {
+			sent[i] = []byte(fmt.Sprintf("dgram-%04d", i))
+		}
+		payloads, metas := sendAndDrain(t, NewWriter(sc), r, sent)
+		for i, p := range payloads {
+			if string(p) != string(sent[i]) {
+				t.Fatalf("mode force=%v: datagram %d = %q, want %q", force, i, p, sent[i])
+			}
+			if metas[i].AtNs < 0 {
+				t.Fatalf("mode force=%v: negative arrival stamp %d", force, metas[i].AtNs)
+			}
+			if metas[i].Src.Port != sc.LocalAddr().(*net.UDPAddr).Port {
+				t.Fatalf("mode force=%v: datagram %d from port %d, want %d",
+					force, i, metas[i].Src.Port, sc.LocalAddr().(*net.UDPAddr).Port)
+			}
+		}
+		if force && r.Kernel() {
+			t.Fatal("fallback reader claims kernel timestamps")
+		}
+		got[mode] = payloads
+	}
+	for i := range got[0] {
+		if string(got[0][i]) != string(got[1][i]) {
+			t.Fatalf("paths diverge at datagram %d: %q vs %q", i, got[0][i], got[1][i])
+		}
+	}
+}
+
+// TestKernelStampsMonotoneWithinBatch: on the fast path with kernel
+// timestamps active, stamps within one drained sequence must be
+// nondecreasing — the kernel stamped them in arrival order.
+func TestKernelStampsMonotoneWithinBatch(t *testing.T) {
+	rc, sc := udpPair(t)
+	r := NewReader(rc, Config{})
+	if !r.Kernel() {
+		t.Skip("kernel RX timestamps unavailable on this platform/socket")
+	}
+	const count = 200
+	bufs := make([][]byte, count)
+	for i := range bufs {
+		bufs[i] = []byte{byte(i), byte(i >> 8)}
+	}
+	_, metas := sendAndDrain(t, NewWriter(sc), r, bufs)
+	kernel := 0
+	last := int64(-1)
+	for i, m := range metas {
+		if m.AtNs < last {
+			t.Fatalf("stamp %d went backwards: %d after %d", i, m.AtNs, last)
+		}
+		last = m.AtNs
+		if m.Kernel {
+			kernel++
+		}
+	}
+	if kernel == 0 {
+		t.Fatal("no datagram carried a kernel stamp despite Kernel()=true")
+	}
+}
+
+// TestSlotsReusedAcrossBatches pins the buffer-ring ownership rule: a
+// later ReadBatch rewrites the slot memory a previous batch handed
+// out, so retaining a Payload across calls is a bug the test suite
+// would catch as corrupted bytes.
+func TestSlotsReusedAcrossBatches(t *testing.T) {
+	rc, sc := udpPair(t)
+	r := NewReader(rc, Config{Batch: 4})
+	batch := make([]Datagram, r.BatchSize())
+
+	if _, err := sc.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.ReadBatch(batch); err != nil || n != 1 {
+		t.Fatalf("first ReadBatch = %d, %v", n, err)
+	}
+	held := batch[0].Payload
+	if string(held) != "first" {
+		t.Fatalf("payload = %q", held)
+	}
+	if _, err := sc.Write([]byte("seconds!")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.ReadBatch(batch); err != nil || n != 1 {
+		t.Fatalf("second ReadBatch = %d, %v", n, err)
+	}
+	if string(batch[0].Payload) != "seconds!" {
+		t.Fatalf("second payload = %q", batch[0].Payload)
+	}
+	// The held view aliases the slot ring: after the second read of the
+	// same slot its bytes must have been rewritten in place.
+	if string(held[:5]) == "first" {
+		t.Error("slot memory not reused: first payload survived the next batch")
+	}
+}
+
+// TestReadBatchSurfacesClose: closing the socket unblocks a parked
+// reader with an error rather than hanging it.
+func TestReadBatchSurfacesClose(t *testing.T) {
+	for _, force := range []bool{false, true} {
+		rc, _ := udpPair(t)
+		r := NewReader(rc, Config{ForceFallback: force})
+		errc := make(chan error, 1)
+		go func() {
+			_, err := r.ReadBatch(make([]Datagram, r.BatchSize()))
+			errc <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		rc.Close()
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Fatalf("force=%v: ReadBatch returned nil error on closed socket", force)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("force=%v: ReadBatch still blocked after close", force)
+		}
+	}
+}
+
+// TestWriterLongTrain: trains longer than one sendmmsg batch are
+// chunked, all datagrams arrive, in order.
+func TestWriterLongTrain(t *testing.T) {
+	rc, sc := udpPair(t)
+	if err := rc.SetReadBuffer(4 << 20); err != nil {
+		t.Logf("SetReadBuffer: %v", err)
+	}
+	r := NewReader(rc, Config{})
+	// One WriteBatch call longer than the sendmmsg chunk, small enough
+	// (with per-datagram kernel overhead) to fit any default rcvbuf.
+	const count = 150
+	bufs := make([][]byte, count)
+	for i := range bufs {
+		bufs[i] = []byte(fmt.Sprintf("train-%03d", i))
+	}
+	if err := NewWriter(sc).WriteBatch(bufs); err != nil {
+		t.Fatal(err)
+	}
+	payloads, _ := drain(t, r, count)
+	for i, p := range payloads {
+		if string(p) != string(bufs[i]) {
+			t.Fatalf("datagram %d = %q, want %q", i, p, bufs[i])
+		}
+	}
+}
+
+// TestTimestamperFromWall: kernel wall stamps rebase onto the epoch;
+// an instant captured between epoch creation and now must land in
+// [0, elapsed].
+func TestTimestamperFromWall(t *testing.T) {
+	ts := NewTimestamper()
+	now := time.Now()
+	ns := ts.FromWall(int64(now.Unix()), int64(now.Nanosecond()))
+	if ns < 0 {
+		t.Fatalf("FromWall(now) = %d, want >= 0", ns)
+	}
+	if ns > int64(time.Second) {
+		t.Fatalf("FromWall(now) = %d ns, implausibly far from the epoch", ns)
+	}
+	if before := ts.FromWall(int64(now.Unix())-10, int64(now.Nanosecond())); before >= 0 {
+		t.Fatalf("FromWall(epoch-10s) = %d, want negative", before)
+	}
+}
+
+// TestSteadyStateReadDoesNotAllocate holds the fast path to the 0
+// allocs/op contract: draining batches after warmup allocates nothing.
+func TestSteadyStateReadDoesNotAllocate(t *testing.T) {
+	rc, sc := udpPair(t)
+	r := NewReader(rc, Config{Batch: 8})
+	batch := make([]Datagram, r.BatchSize())
+	w := NewWriter(sc)
+	bufs := make([][]byte, 8)
+	for i := range bufs {
+		bufs[i] = []byte("steady-state-datagram")
+	}
+	roundTrip := func() {
+		if err := w.WriteBatch(bufs); err != nil {
+			t.Fatal(err)
+		}
+		for got := 0; got < len(bufs); {
+			n, err := r.ReadBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += n
+		}
+	}
+	roundTrip() // warmup: lazy netpoll/introspection allocations happen here
+	allocs := testing.AllocsPerRun(50, roundTrip)
+	if allocs > 0 {
+		t.Errorf("steady-state batch round trip allocates %.1f times per run, want 0", allocs)
+	}
+	runtime.KeepAlive(batch)
+}

@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package ingest
+
+// sysSENDMMSG is the sendmmsg syscall number; the frozen stdlib
+// syscall table predates sendmmsg (Linux 3.0), so the number lives
+// here per architecture.
+const sysSENDMMSG uintptr = 269

@@ -26,6 +26,7 @@ var ErrPoolClosed = errors.New("livenet: pool closed")
 //     slot redialed on the next Get (the long-running monitor shape).
 type Pool struct {
 	addr string
+	opts Opts // socket options applied to every dial, redials included
 
 	mu    sync.Mutex
 	slots []*Transport       // current transport per slot; nil = vacant
@@ -40,18 +41,26 @@ type Pool struct {
 // dial failure (including the receiver's session limit) the already
 // dialed transports are closed and the cause is returned.
 func DialPool(addr string, n int) (*Pool, error) {
+	return DialPoolOpts(addr, n, Opts{})
+}
+
+// DialPoolOpts is DialPool with explicit socket options; the options
+// also apply when Get redials a vacated slot, so a pool's transports
+// stay uniformly configured across their whole lifetime.
+func DialPoolOpts(addr string, n int, opts Opts) (*Pool, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("livenet: pool size %d must be positive", n)
 	}
 	p := &Pool{
 		addr:   addr,
+		opts:   opts,
 		slots:  make([]*Transport, n),
 		idx:    make(map[*Transport]int, n),
 		free:   make(chan int, n),
 		closed: make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
-		tr, err := Dial(addr)
+		tr, err := DialOpts(addr, opts)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("livenet: pool dial %d of %d: %w", i+1, n, err)
@@ -103,7 +112,7 @@ func (p *Pool) Get(ctx context.Context) (*Transport, error) {
 		if tr != nil {
 			return tr, nil
 		}
-		tr, err := Dial(p.addr) // outside the lock: dials are slow
+		tr, err := DialOpts(p.addr, p.opts) // outside the lock: dials are slow
 		if err != nil {
 			p.free <- i // the slot stays vacant for the next Get to retry
 			return nil, fmt.Errorf("livenet: pool redial slot %d: %w", i, err)

@@ -35,7 +35,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"abw/internal/livenet/ingest"
 )
 
 // Config bounds a Receiver's resource usage. Zero fields take the
@@ -54,6 +55,21 @@ type Config struct {
 	// MaxCount is the packet count accepted for one stream
 	// (default 1<<20).
 	MaxCount int
+	// RcvBuf requests an SO_RCVBUF of this many bytes on the probe
+	// socket (0 leaves the OS default). The kernel may grant less (or,
+	// on Linux, double it); Stats reports what was actually granted.
+	RcvBuf int
+	// Batch is the maximum datagrams drained per ingest syscall on the
+	// batched fast path (0 = ingest's default of 64).
+	Batch int
+	// ForceFallback disables the batched kernel-timestamped ingest fast
+	// path, selecting the portable single-read loop with userspace
+	// arrival stamps — for differential tests and A/B timing studies.
+	ForceFallback bool
+	// Clock injects the timer source for the receiver's straggler
+	// waits (nil = the real clock). Tests use a fake so the waits are
+	// script-driven instead of wall-clock sleeps.
+	Clock Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCount <= 0 {
 		c.MaxCount = 1 << 20
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
 	}
 	return c
 }
@@ -85,21 +104,30 @@ type Stats struct {
 	SizeMismatches   uint64 // datagram length ≠ the stream's declared size
 	SourceMismatches uint64 // datagram source ≠ the session's bound source
 	Refused          uint64 // sessions refused at MaxSessions
+
+	Batches          uint64 // ingest batches drained (Packets+Drops arrivals over this many syscall rounds)
+	RcvBufBytes      int    // receive buffer the kernel actually granted
+	KernelTimestamps bool   // arrival stamps come from kernel RX timestamps
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("sessions=%d/%d streams=%d/%d packets=%d drops=%d",
-		s.ActiveSessions, s.Sessions, s.ActiveStreams, s.Streams, s.Packets, s.Drops)
+	src := "user"
+	if s.KernelTimestamps {
+		src = "kernel"
+	}
+	return fmt.Sprintf("sessions=%d/%d streams=%d/%d packets=%d drops=%d batches=%d ts=%s",
+		s.ActiveSessions, s.Sessions, s.ActiveStreams, s.Streams, s.Packets, s.Drops, s.Batches, src)
 }
 
 // Receiver is the probing sink: a UDP socket recording per-packet
 // arrival timestamps and a TCP control listener reporting them back.
 // All methods are safe for concurrent use.
 type Receiver struct {
-	cfg   Config
-	tcp   net.Listener
-	udp   *net.UDPConn
-	epoch time.Time
+	cfg    Config
+	tcp    net.Listener
+	udp    *net.UDPConn
+	ing    ingest.Reader
+	rcvbuf int // effective SO_RCVBUF the kernel granted
 
 	mu       sync.RWMutex // guards sessions only
 	sessions map[uint32]*session
@@ -111,6 +139,7 @@ type Receiver struct {
 	totalSessions atomic.Uint64
 	totalStreams  atomic.Uint64
 	refused       atomic.Uint64
+	batches       atomic.Uint64
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -139,10 +168,20 @@ func ListenReceiverConfig(addr string, cfg Config) (*Receiver, error) {
 		cfg:      cfg.withDefaults(),
 		tcp:      tl,
 		udp:      uc,
-		epoch:    time.Now(),
 		sessions: make(map[uint32]*session),
 		closed:   make(chan struct{}),
 	}
+	if r.cfg.RcvBuf > 0 {
+		// Best effort: the kernel clamps to rmem_max, and Stats reports
+		// what was actually granted.
+		uc.SetReadBuffer(r.cfg.RcvBuf)
+	}
+	r.rcvbuf = ingest.EffectiveRcvBuf(uc)
+	r.ing = ingest.NewReader(uc, ingest.Config{
+		Batch:         r.cfg.Batch,
+		Slot:          maxPacket,
+		ForceFallback: r.cfg.ForceFallback,
+	})
 	go r.udpLoop()
 	go r.acceptLoop()
 	return r, nil
@@ -180,6 +219,9 @@ func (r *Receiver) Stats() Stats {
 		SizeMismatches:   r.sizeMismatch.Load(),
 		SourceMismatches: r.srcMismatch.Load(),
 		Refused:          r.refused.Load(),
+		Batches:          r.batches.Load(),
+		RcvBufBytes:      r.rcvbuf,
+		KernelTimestamps: r.ing != nil && r.ing.Kernel(),
 	}
 	r.mu.RLock()
 	st.ActiveSessions = len(r.sessions)
@@ -190,15 +232,19 @@ func (r *Receiver) Stats() Stats {
 	return st
 }
 
-// udpLoop routes every probe datagram to its session: the receiver
-// lock is held only for the map lookup (read-locked, so concurrent
-// control traffic does not stall stamping), and the per-packet
-// bookkeeping happens under the owning session's own lock.
+// udpLoop drains the ingest reader and routes every probe datagram to
+// its session: the receiver lock is held only for the map lookup
+// (read-locked, so concurrent control traffic does not stall
+// stamping), and the per-packet bookkeeping happens under the owning
+// session's own lock. All per-batch state is allocated once up front;
+// the ingest slot views handed out by ReadBatch are consumed entirely
+// before the next call, honoring the buffer-ring ownership rule.
 func (r *Receiver) udpLoop() {
-	buf := make([]byte, maxPacket)
+	batch := make([]ingest.Datagram, r.ing.BatchSize())
+	hs := make([]probeHeader, len(batch))
+	oks := make([]bool, len(batch))
 	for {
-		n, src, err := r.udp.ReadFromUDP(buf)
-		at := time.Since(r.epoch).Nanoseconds()
+		n, err := r.ing.ReadBatch(batch)
 		if err != nil {
 			select {
 			case <-r.closed:
@@ -207,19 +253,26 @@ func (r *Receiver) udpLoop() {
 				continue
 			}
 		}
-		h, ok := parseProbeHeader(buf[:n])
-		if !ok {
-			r.drops.Add(1)
+		if n == 0 {
 			continue
 		}
-		r.mu.RLock()
-		s := r.sessions[h.session]
-		r.mu.RUnlock()
-		if s == nil || !s.stamp(src, h.stream, h.seq, n, at) {
-			r.drops.Add(1)
-			continue
+		r.batches.Add(1)
+		parseProbeBatch(batch[:n], hs, oks)
+		for i := 0; i < n; i++ {
+			if !oks[i] {
+				r.drops.Add(1)
+				continue
+			}
+			h := hs[i]
+			r.mu.RLock()
+			s := r.sessions[h.session]
+			r.mu.RUnlock()
+			if s == nil || !s.stamp(batch[i].Src, h.stream, h.seq, len(batch[i].Payload), batch[i].AtNs) {
+				r.drops.Add(1)
+				continue
+			}
+			r.packets.Add(1)
 		}
-		r.packets.Add(1)
 	}
 }
 

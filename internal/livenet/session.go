@@ -30,6 +30,7 @@ type rxStream struct {
 	size   int // declared per-packet datagram size; arrivals must match
 	recvNs []int64
 	got    int
+	done   chan struct{} // closed by stamp when every slot is filled
 }
 
 // serve owns one control connection for its whole life: handshake,
@@ -92,7 +93,7 @@ func (s *session) openStream(m ctrlMsg) ctrlMsg {
 	if _, dup := s.streams[m.ID]; dup {
 		return errReply(m.ID, fmt.Sprintf("stream id %d already open", m.ID))
 	}
-	st := &rxStream{size: m.Size, recvNs: make([]int64, m.Count)}
+	st := &rxStream{size: m.Size, recvNs: make([]int64, m.Count), done: make(chan struct{})}
 	for i := range st.recvNs {
 		st.recvNs[i] = -1
 	}
@@ -119,26 +120,24 @@ func (s *session) finishStream(m ctrlMsg) ctrlMsg {
 	if wait > maxDrainWait {
 		wait = maxDrainWait
 	}
-	receiverClosed := func() bool {
+	s.mu.Lock()
+	complete := st.got == len(st.recvNs)
+	s.mu.Unlock()
+	if wait > 0 && !complete {
+		// Event-driven straggler drain: the last stamp closes st.done,
+		// receiver shutdown closes r.closed (a closed receiver can never
+		// see another straggler — the UDP socket is gone — so shutdown
+		// bounds the wait, not the sender's declared drain deadline), and
+		// the injected clock bounds the wait for a stream that stays
+		// incomplete. No polling, so an idle drain burns no CPU and tests
+		// can script the timeout.
+		t := s.r.cfg.Clock.NewTimer(wait)
 		select {
+		case <-st.done:
 		case <-s.r.closed:
-			return true
-		default:
-			return false
+		case <-t.C():
 		}
-	}
-	deadline := time.Now().Add(wait)
-	for {
-		s.mu.Lock()
-		complete := st.got == len(st.recvNs)
-		s.mu.Unlock()
-		// A closed receiver can never see another straggler (the UDP
-		// socket is gone), so shutdown bounds the wait, not the
-		// sender's declared drain deadline.
-		if complete || receiverClosed() || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(200 * time.Microsecond)
+		t.Stop()
 	}
 	s.mu.Lock()
 	delete(s.streams, m.ID)
@@ -181,6 +180,11 @@ func (s *session) stamp(src *net.UDPAddr, stream uint32, seq, size int, atNs int
 	}
 	st.recvNs[seq] = atNs
 	st.got++
+	if st.got == len(st.recvNs) {
+		// Exactly once: every slot fills at most once (the -1 guard
+		// above), so got reaches the count a single time.
+		close(st.done)
+	}
 	return true
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"abw/internal/core"
+	"abw/internal/livenet/ingest"
 	"abw/internal/probe"
 )
 
@@ -32,6 +33,13 @@ type Transport struct {
 
 	nextID uint32
 	buf    []byte
+	// bw coalesces zero-gap packet runs into single sendmmsg calls so
+	// back-to-back trains leave the host without per-packet syscall
+	// jitter between them; slab/train are its reusable packet buffers,
+	// grown on demand and reused across Probe calls.
+	bw    *ingest.Writer
+	slab  []byte
+	train [][]byte
 	// broken latches when the control channel's request/reply
 	// alignment can no longer be trusted (an aborted stream whose
 	// reply never drained); every later Probe fails fast rather than
@@ -39,11 +47,24 @@ type Transport struct {
 	broken bool
 }
 
+// Opts tunes a Transport's probe socket. The zero value is the
+// default configuration.
+type Opts struct {
+	// SndBuf requests an SO_SNDBUF of this many bytes on the probe
+	// socket (0 leaves the OS default) — headroom for long back-to-back
+	// trains that leave in one batched send. Best effort: the kernel
+	// clamps to wmem_max.
+	SndBuf int
+}
+
 // Dial connects to a receiver's control address and completes the
 // session handshake: the receiver assigns the session ID every probe
 // packet will carry. A receiver at its session limit refuses with a
 // descriptive error.
-func Dial(addr string) (*Transport, error) {
+func Dial(addr string) (*Transport, error) { return DialOpts(addr, Opts{}) }
+
+// DialOpts is Dial with explicit socket options.
+func DialOpts(addr string, opts Opts) (*Transport, error) {
 	ctrl, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("livenet: control dial: %w", err)
@@ -71,11 +92,15 @@ func Dial(addr string) (*Transport, error) {
 		ctrl.Close()
 		return nil, fmt.Errorf("livenet: probe dial: %w", err)
 	}
+	if opts.SndBuf > 0 {
+		udp.SetWriteBuffer(opts.SndBuf)
+	}
 	return &Transport{
 		ctrl:    ctrl,
 		dec:     dec,
 		enc:     json.NewEncoder(ctrl),
 		udp:     udp,
+		bw:      ingest.NewWriter(udp),
 		epoch:   time.Now(),
 		session: hello.Session,
 		buf:     make([]byte, maxPacket),
@@ -84,6 +109,10 @@ func Dial(addr string) (*Transport, error) {
 
 // SessionID returns the receiver-assigned session identifier.
 func (t *Transport) SessionID() uint32 { return t.session }
+
+// Batched reports whether zero-gap packet runs coalesce into batched
+// sends (sendmmsg) on this platform, or fall back to per-packet writes.
+func (t *Transport) Batched() bool { return t.bw.Batched() }
 
 // Close releases the sockets; the receiver reaps the session's state.
 func (t *Transport) Close() {
@@ -145,20 +174,66 @@ func (t *Transport) Probe(spec probe.StreamSpec) (*probe.Record, error) {
 	binary.BigEndian.PutUint32(pkt[4:8], t.session)
 	binary.BigEndian.PutUint32(pkt[8:12], id)
 
+	// Zero-gap runs — consecutive packets with identical departure
+	// targets (Validate admits gap 0, never negative) — are coalesced
+	// into one sendmmsg call each, so a back-to-back train leaves the
+	// host without per-packet syscall jitter between its packets.
+	// Intended (positive) gaps are still paced one departure at a time.
+	maxRun := 1
+	if t.bw.Batched() {
+		run := 1
+		for i := 1; i < spec.Count; i++ {
+			if deps[i] == deps[i-1] {
+				run++
+			} else {
+				run = 1
+			}
+			if run > maxRun {
+				maxRun = run
+			}
+		}
+	}
+	var train [][]byte
+	if maxRun > 1 {
+		train = t.trainBufs(maxRun, int(spec.PktSize), id)
+	}
+
 	// The paced send loop: lock the OS thread and spin for the last
 	// stretch before each departure to defeat sleep quantization.
 	runtime.LockOSThread()
 	start := time.Now().Add(2 * time.Millisecond)
-	for i := 0; i < spec.Count; i++ {
-		target := start.Add(deps[i])
-		pace(target)
-		binary.BigEndian.PutUint32(pkt[12:16], uint32(i))
-		rec.Sent[i] = time.Since(t.epoch)
-		if _, err := t.udp.Write(pkt); err != nil {
-			runtime.UnlockOSThread()
-			t.abortStream(id)
-			return nil, fmt.Errorf("livenet: send %d: %w", i, err)
+	for i := 0; i < spec.Count; {
+		j := i + 1
+		for train != nil && j < spec.Count && deps[j] == deps[i] {
+			j++
 		}
+		pace(start.Add(deps[i]))
+		if run := j - i; run > 1 {
+			for k := 0; k < run; k++ {
+				binary.BigEndian.PutUint32(train[k][12:16], uint32(i+k))
+			}
+			// One stamp for the whole run: the intended gaps are zero and
+			// the packets leave in a single syscall, so distinct stamps
+			// would only record scheduler noise, not departures.
+			at := time.Since(t.epoch)
+			for k := 0; k < run; k++ {
+				rec.Sent[i+k] = at
+			}
+			if err := t.bw.WriteBatch(train[:run]); err != nil {
+				runtime.UnlockOSThread()
+				t.abortStream(id)
+				return nil, fmt.Errorf("livenet: send train %d..%d: %w", i, j-1, err)
+			}
+		} else {
+			binary.BigEndian.PutUint32(pkt[12:16], uint32(i))
+			rec.Sent[i] = time.Since(t.epoch)
+			if _, err := t.udp.Write(pkt); err != nil {
+				runtime.UnlockOSThread()
+				t.abortStream(id)
+				return nil, fmt.Errorf("livenet: send %d: %w", i, err)
+			}
+		}
+		i = j
 	}
 	runtime.UnlockOSThread()
 
@@ -187,6 +262,32 @@ func (t *Transport) Probe(spec probe.StreamSpec) (*probe.Record, error) {
 		rec.MarkResolved()
 	}
 	return rec, nil
+}
+
+// trainBufs sizes the reusable train buffers for runs up to n packets
+// of the given size and stamps every constant header field; the paced
+// loop only rewrites each packet's sequence number. Buffers persist
+// across Probe calls, so steady-state probing does not allocate here.
+func (t *Transport) trainBufs(n, size int, stream uint32) [][]byte {
+	if cap(t.slab) < n*size {
+		t.slab = make([]byte, n*size)
+	}
+	t.slab = t.slab[:n*size]
+	if cap(t.train) < n {
+		t.train = make([][]byte, n)
+	}
+	t.train = t.train[:n]
+	for k := 0; k < n; k++ {
+		b := t.slab[k*size : (k+1)*size]
+		for i := range b {
+			b[i] = 0
+		}
+		binary.BigEndian.PutUint32(b[0:4], magic)
+		binary.BigEndian.PutUint32(b[4:8], t.session)
+		binary.BigEndian.PutUint32(b[8:12], stream)
+		t.train[k] = b
+	}
+	return t.train
 }
 
 // abortStream best-effort releases a stream the receiver is still

@@ -26,6 +26,9 @@ type ReceiverStats struct {
 	SizeMismatches   uint64 `json:"size_mismatches"`
 	SourceMismatches uint64 `json:"source_mismatches"`
 	Refused          uint64 `json:"refused"`
+	Batches          uint64 `json:"batches"`
+	RcvBufBytes      int    `json:"rcvbuf_bytes"`
+	KernelTimestamps bool   `json:"kernel_timestamps"`
 }
 
 // FromReceiver converts a receiver's counters to the wire shape.
@@ -40,6 +43,9 @@ func FromReceiver(st livenet.Stats) ReceiverStats {
 		SizeMismatches:   st.SizeMismatches,
 		SourceMismatches: st.SourceMismatches,
 		Refused:          st.Refused,
+		Batches:          st.Batches,
+		RcvBufBytes:      st.RcvBufBytes,
+		KernelTimestamps: st.KernelTimestamps,
 	}
 }
 
@@ -251,6 +257,13 @@ func (m *Monitor) writeMetrics(w io.Writer) {
 		c("abw_receiver_packets_total", "Probe packets stamped into a stream.", float64(rs.Packets))
 		c("abw_receiver_drops_total", "Datagrams discarded.", float64(rs.Drops))
 		c("abw_receiver_refused_total", "Sessions refused at the session limit.", float64(rs.Refused))
+		c("abw_receiver_ingest_batches_total", "Ingest batches drained from the probe socket.", float64(rs.Batches))
+		g("abw_receiver_rcvbuf_bytes", "Receive buffer the kernel granted on the probe socket.", float64(rs.RcvBufBytes))
+		kts := 0.0
+		if rs.KernelTimestamps {
+			kts = 1
+		}
+		g("abw_receiver_kernel_timestamps", "1 when arrival stamps come from kernel RX timestamps.", kts)
 	}
 }
 
